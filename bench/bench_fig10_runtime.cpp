@@ -1,0 +1,76 @@
+// Fig. 10 reproduction: compression wall-clock time per compressor on the
+// Table II cases. The paper runs all tools with 4 OpenMP threads; here SPERR
+// uses up to 4 chunk threads and the baseline reimplementations are serial
+// (their reference implementations parallelize internally). The paper's
+// finding is about ordering, which survives: SZ3 and ZFP are the fast pair,
+// SPERR runs a few times slower (comparable to MGARD), TTHRESH is slowest.
+// TTHRESH PSNR targets: 120.41 dB at idx=20 and 240.82 dB at idx=40 (the
+// paper's 6.02*idx translation).
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/mgardlike/compressor.h"
+#include "baselines/szlike/compressor.h"
+#include "baselines/tthreshlike/compressor.h"
+#include "baselines/zfplike/compressor.h"
+#include "common/timer.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+namespace {
+
+template <class Fn>
+double time_best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    sperr::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Fig. 10: compression time (seconds) on Table II cases");
+  std::printf("(MGARD-like shown at idx=40 too; the paper excludes it there "
+              "for bound violations)\n\n");
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "case", "SZ-like", "ZFP-like",
+              "SPERR", "MGARD-like", "TTHRESH");
+  bench::print_rule();
+
+  for (const auto& c : bench::table2_cases()) {
+    const auto& field = bench::field_by_label(c.field_label);
+    const auto data = bench::load_field(field);
+    const double t = sperr::tolerance_from_idx(data.data(), data.size(), c.idx);
+
+    const double t_sz = time_best_of(
+        2, [&] { (void)sperr::szlike::compress(data.data(), field.dims, t); });
+    const double t_zfp = time_best_of(2, [&] {
+      (void)sperr::zfplike::compress_accuracy(data.data(), field.dims, t);
+    });
+    const double t_sperr = time_best_of(2, [&] {
+      sperr::Config cfg = bench::sperr_config_for(field);
+      cfg.tolerance = t;
+      cfg.num_threads = 4;
+      if (field.sperr_chunk.total() <= 1) cfg.chunk_dims = sperr::Dims{64, 64, 64};
+      (void)sperr::compress(data.data(), field.dims, cfg);
+    });
+    const double t_mgard = time_best_of(
+        2, [&] { (void)sperr::mgardlike::compress(data.data(), field.dims, t); });
+    const double t_tth = time_best_of(1, [&] {
+      (void)sperr::tthreshlike::compress(data.data(), field.dims,
+                                         6.02059991 * c.idx);
+    });
+
+    std::printf("%-10s %10.3f %10.3f %10.3f %10.3f %10.3f\n", c.abbrev.c_str(),
+                t_sz, t_zfp, t_sperr, t_mgard, t_tth);
+  }
+  bench::print_rule();
+  std::printf(
+      "Paper expectation: SZ3 and ZFP comparable and fastest; SPERR a few\n"
+      "times slower but well ahead of TTHRESH; SPERR comparable to MGARD.\n");
+  return 0;
+}

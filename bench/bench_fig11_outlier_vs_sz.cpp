@@ -1,0 +1,75 @@
+// Fig. 11 reproduction: outlier-coding efficiency, SPERR vs SZ, on identical
+// outlier lists. Following §VI-E, we intercept SPERR's pipeline to obtain
+// the outlier list for each Table II case, then code the same list two ways:
+//   * SPERR's outlier coder (positions + corrections, SPECK-style);
+//   * SZ's scheme: corrections quantized to integer multiples of 2t, a dense
+//     per-point bin array (inliers = 0) Huffman-coded and ZSTD'd — the
+//     QCAT `compressQuantBins` path, reproduced by szlike::encode_quant_bins.
+// Cost metric: average bits per outlier, including stream headers.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include <algorithm>
+
+#include "baselines/szlike/quant_bins.h"
+#include "lossless/codec.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+int main() {
+  bench::print_title("Fig. 11: bits per outlier — SPERR coder vs SZ quant-bin coder");
+  std::printf("%-10s %12s %12s %14s %14s %10s\n", "case", "outliers",
+              "outlier %", "SPERR b/outl", "SZ b/outl", "margin");
+  bench::print_rule();
+
+  double sperr_total = 0, sz_total = 0;
+  int rows = 0;
+  for (const auto& c : bench::table2_cases()) {
+    const auto& field = bench::field_by_label(c.field_label);
+    const auto data = bench::load_field(field);
+    const double t = sperr::tolerance_from_idx(data.data(), data.size(), c.idx);
+
+    // Intercept the pipeline to get the outlier list (paper's methodology).
+    std::vector<sperr::outlier::Outlier> outliers;
+    const auto cs = sperr::pipeline::encode_pwe(data.data(), field.dims, t, 1.5,
+                                                &outliers);
+    if (outliers.empty()) {
+      std::printf("%-10s %12s\n", c.abbrev.c_str(), "none");
+      continue;
+    }
+    const double n_outl = double(outliers.size());
+
+    // SPERR's coder: the produced outlier stream (header included), after
+    // the same lossless pass SPERR applies to its concatenated streams and
+    // SZ applies to its Huffman output (§V, §VI-E).
+    const auto sperr_packed = sperr::lossless::compress(cs.outlier);
+    const double sperr_bits =
+        double(std::min(sperr_packed.size(), cs.outlier.size())) * 8.0 / n_outl;
+
+    // SZ's scheme: dense bin array over every data point.
+    std::vector<int32_t> bins(data.size(), 0);
+    for (const auto& o : outliers)
+      bins[o.pos] = int32_t(std::llround(o.corr / (2.0 * t)));
+    sperr::szlike::QuantBinStats qstats;
+    const auto sz_stream = sperr::szlike::encode_quant_bins(bins, &qstats);
+    const double sz_bits = double(sz_stream.size()) * 8.0 / n_outl;
+
+    std::printf("%-10s %12zu %11.2f%% %14.2f %14.2f %+9.2f\n", c.abbrev.c_str(),
+                outliers.size(), 100.0 * n_outl / double(data.size()),
+                sperr_bits, sz_bits, sz_bits - sperr_bits);
+    sperr_total += sperr_bits;
+    sz_total += sz_bits;
+    ++rows;
+  }
+  bench::print_rule();
+  if (rows)
+    std::printf("means: SPERR %.2f bits/outlier, SZ %.2f bits/outlier\n",
+                sperr_total / rows, sz_total / rows);
+  std::printf(
+      "Paper expectation: SPERR ~10 bits/outlier across settings, and\n"
+      "consistently 1-2 bits cheaper than SZ's scheme on the same outliers.\n");
+  return 0;
+}

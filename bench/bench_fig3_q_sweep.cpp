@@ -1,0 +1,85 @@
+// Fig. 3 reproduction: for four fields and several tolerance levels, sweep
+// the quantization step q in [t, 3t] and report (top) the bitrate increase
+// over the best observed q and (bottom) the PSNR increase over the worst.
+// The paper's findings: the bitrate curves are U-shaped with sweet spots
+// mostly in q = 1.4t..1.8t, while PSNR decreases monotonically with q —
+// motivating the shipped default q = 1.5t.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+namespace {
+
+struct Sample {
+  double bpp;
+  double psnr;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_title("Fig. 3: bitrate and PSNR vs quantization step q");
+
+  const struct {
+    const char* label;
+    std::vector<int> idx_levels;
+  } plan[] = {
+      {"Press", {10, 20, 30, 40}},  // double-precision fields: deeper levels
+      {"Visc", {10, 20, 30, 40}},
+      {"Nyx", {10, 15, 20, 25}},  // single-precision fields
+      {"VX3", {10, 15, 20, 25}},
+  };
+  std::vector<double> q_steps;
+  for (double q = 1.0; q <= 3.001; q += 0.25) q_steps.push_back(q);
+
+  for (const auto& p : plan) {
+    const auto& field = bench::field_by_label(p.label);
+    const auto data = bench::load_field(field);
+    const double npts = double(field.dims.total());
+
+    std::printf("\n=== %s (%s) ===\n", p.label, field.dims.to_string().c_str());
+    for (const int idx : p.idx_levels) {
+      const double t = sperr::tolerance_from_idx(data.data(), data.size(), idx);
+      std::vector<Sample> samples;
+      for (const double q : q_steps) {
+        std::vector<uint8_t> blob;
+        const auto cs = sperr::pipeline::encode_pwe(data.data(), field.dims, t, q);
+        std::vector<double> recon(field.dims.total());
+        (void)sperr::pipeline::decode(cs.speck, cs.outlier, field.dims,
+                                      recon.data());
+        const auto qual =
+            sperr::metrics::compare(data.data(), recon.data(), data.size());
+        samples.push_back(
+            {double(cs.speck.size() + cs.outlier.size()) * 8.0 / npts, qual.psnr});
+      }
+      double min_bpp = 1e300, min_psnr = 1e300;
+      size_t best_q_i = 0;
+      for (size_t i = 0; i < samples.size(); ++i) {
+        if (samples[i].bpp < min_bpp) {
+          min_bpp = samples[i].bpp;
+          best_q_i = i;
+        }
+        min_psnr = std::min(min_psnr, samples[i].psnr);
+      }
+
+      std::printf("\nidx=%d (t=%.3g), sweet spot at q=%.2ft\n", idx, t,
+                  q_steps[best_q_i]);
+      std::printf("  %-6s %14s %14s\n", "q/t", "dBPP (vs min)", "dPSNR (vs min)");
+      for (size_t i = 0; i < samples.size(); ++i)
+        std::printf("  %-6.2f %14.3f %14.2f\n", q_steps[i],
+                    samples[i].bpp - min_bpp, samples[i].psnr - min_psnr);
+    }
+  }
+
+  std::printf(
+      "\nPaper expectation: U-shaped dBPP with minima mostly at q in\n"
+      "[1.4t, 1.8t]; dPSNR monotonically decreasing in q. Both motivate the\n"
+      "shipped default q = 1.5t.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 4 reproduction: outlier coding bitrate (bits per outlier, solid lines
+// in the paper) and outlier percentage (dashed lines) as q varies. The paper
+// reports 6-16 bits/outlier, decreasing with q (shared significance tests
+// amortize over more outliers), ~10 bits/outlier at the default q = 1.5t.
+
+#include <cstdio>
+#include <vector>
+
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+int main() {
+  bench::print_title("Fig. 4: outlier bitrate and percentage vs q");
+
+  const struct {
+    const char* label;
+    int idx;
+  } cases[] = {
+      {"Visc", 20}, {"Visc", 40}, {"Nyx", 20}, {"Nyx", 30}};
+
+  std::printf("%-10s %-6s %16s %14s %14s\n", "case", "q/t", "outliers",
+              "% of points", "bits/outlier");
+  bench::print_rule();
+
+  for (const auto& c : cases) {
+    const auto& field = bench::field_by_label(c.label);
+    const auto data = bench::load_field(field);
+    const double t = sperr::tolerance_from_idx(data.data(), data.size(), c.idx);
+    for (double q = 1.0; q <= 3.001; q += 0.25) {
+      const auto cs = sperr::pipeline::encode_pwe(data.data(), field.dims, t, q);
+      const double pct = 100.0 * double(cs.num_outliers) / double(data.size());
+      const double bits = cs.num_outliers
+                              ? double(cs.outlier_payload_bits) / double(cs.num_outliers)
+                              : 0.0;
+      std::printf("%s-%-5d %-6.2f %16zu %13.2f%% %14.2f\n", c.label, c.idx, q,
+                  cs.num_outliers, pct, bits);
+    }
+    bench::print_rule();
+  }
+  std::printf(
+      "Paper expectation: bits/outlier mostly in 6-16, decreasing with q;\n"
+      "~10 bits/outlier at the shipped q = 1.5t; outlier %% rises with q.\n");
+  return 0;
+}

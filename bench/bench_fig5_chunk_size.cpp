@@ -1,0 +1,64 @@
+// Fig. 5 reproduction: impact of chunk size on compression efficiency
+// (accuracy gain). The paper compresses a 1024^3 cut-out of the Miranda
+// density field with chunk sizes from 64^3 to 1024^3; bigger chunks give
+// higher accuracy gain with diminishing returns, and the penalty of small
+// chunks grows as tolerances tighten. We use a 128^3 stand-in with chunks
+// 16^3..128^3 (the same 3-octave span below the full volume).
+
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+int main() {
+  bench::print_title("Fig. 5: accuracy gain vs chunk size (Miranda-like density)");
+
+  const sperr::Dims dims{128, 128, 128};
+  const auto data = sperr::data::make_field("miranda_density", dims);
+  const std::vector<size_t> chunk_sides = {16, 32, 64, 128};
+  const std::vector<int> idx_levels = {10, 20, 30};
+
+  std::printf("%-8s", "chunk");
+  for (const int idx : idx_levels) std::printf("  gain(idx=%-2d) d(idx=%-2d)", idx, idx);
+  std::printf("\n");
+  bench::print_rule();
+
+  // Collect gains, then print the *difference* to the best chunk size, as
+  // the paper plots.
+  std::vector<std::vector<double>> gains(chunk_sides.size(),
+                                         std::vector<double>(idx_levels.size()));
+  for (size_t ci = 0; ci < chunk_sides.size(); ++ci) {
+    for (size_t ti = 0; ti < idx_levels.size(); ++ti) {
+      sperr::Config cfg;
+      cfg.tolerance =
+          sperr::tolerance_from_idx(data.data(), data.size(), idx_levels[ti]);
+      const size_t side = chunk_sides[ci];
+      cfg.chunk_dims = sperr::Dims{side, side, side};
+      const auto blob = sperr::compress(data.data(), dims, cfg);
+      std::vector<double> recon;
+      sperr::Dims od;
+      (void)sperr::decompress(blob.data(), blob.size(), recon, od);
+      const auto rd = bench::evaluate(data, recon, blob.size());
+      gains[ci][ti] = rd.gain;
+    }
+  }
+  std::vector<double> best(idx_levels.size(), -1e300);
+  for (size_t ti = 0; ti < idx_levels.size(); ++ti)
+    for (size_t ci = 0; ci < chunk_sides.size(); ++ci)
+      best[ti] = std::max(best[ti], gains[ci][ti]);
+
+  for (size_t ci = 0; ci < chunk_sides.size(); ++ci) {
+    std::printf("%zu^3    ", chunk_sides[ci]);
+    for (size_t ti = 0; ti < idx_levels.size(); ++ti)
+      std::printf("  %11.3f %9.3f", gains[ci][ti], gains[ci][ti] - best[ti]);
+    std::printf("\n");
+  }
+  bench::print_rule();
+  std::printf(
+      "Paper expectation: gain increases with chunk size with diminishing\n"
+      "returns; the small-chunk penalty grows at tighter tolerances (larger\n"
+      "idx). SPERR defaults to 256^3 as the efficiency/parallelism balance.\n");
+  return 0;
+}

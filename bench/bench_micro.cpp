@@ -1,0 +1,156 @@
+// Microbenchmarks (google-benchmark) for the individual pipeline stages:
+// wavelet transforms, SPECK encode/decode, the outlier coder, the lossless
+// back end, and the ZFP-like block codec. Useful for tracking throughput
+// regressions independent of the figure-level harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/zfplike/block_codec.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "lossless/codec.h"
+#include "outlier/coder.h"
+#include "speck/decoder.h"
+#include "speck/encoder.h"
+#include "sperr/sperr.h"
+#include "wavelet/dwt.h"
+
+namespace {
+
+using sperr::Dims;
+
+const std::vector<double>& test_volume(Dims dims) {
+  static const Dims cached_dims{64, 64, 64};
+  static const std::vector<double> vol =
+      sperr::data::miranda_pressure(cached_dims);
+  (void)dims;
+  return vol;
+}
+
+void BM_ForwardDwt3D(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  const auto& vol = test_volume(dims);
+  std::vector<double> work(vol.size());
+  for (auto _ : state) {
+    work = vol;
+    sperr::wavelet::forward_dwt(work.data(), dims);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(vol.size()));
+}
+BENCHMARK(BM_ForwardDwt3D);
+
+void BM_InverseDwt3D(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  std::vector<double> work(coeffs.size());
+  for (auto _ : state) {
+    work = coeffs;
+    sperr::wavelet::inverse_dwt(work.data(), dims);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_InverseDwt3D);
+
+void BM_SpeckEncode(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  const double q = std::ldexp(1.0e6, -int(state.range(0)));  // vs field scale
+  for (auto _ : state) {
+    auto stream = sperr::speck::encode(coeffs.data(), dims, q);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_SpeckEncode)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SpeckDecode(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  const double q = std::ldexp(1.0e6, -int(state.range(0)));
+  const auto stream = sperr::speck::encode(coeffs.data(), dims, q);
+  std::vector<double> out(coeffs.size());
+  for (auto _ : state) {
+    (void)sperr::speck::decode(stream.data(), stream.size(), dims, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_SpeckDecode)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_OutlierEncode(benchmark::State& state) {
+  sperr::Rng rng(1);
+  const uint64_t len = 1 << 20;
+  const size_t count = size_t(state.range(0));
+  std::vector<sperr::outlier::Outlier> outliers;
+  for (size_t i = 0; i < count; ++i)
+    outliers.push_back({rng.below(len), (rng.uniform() - 0.5) * 10.0 + 2.0});
+  for (auto _ : state) {
+    auto stream = sperr::outlier::encode(outliers, len, 1.0);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(count));
+}
+BENCHMARK(BM_OutlierEncode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LosslessCompress(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  const auto stream = sperr::speck::encode(coeffs.data(), dims, 1.0);
+  for (auto _ : state) {
+    auto packed = sperr::lossless::compress(stream);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(stream.size()));
+}
+BENCHMARK(BM_LosslessCompress);
+
+void BM_ZfpBlockEncode(benchmark::State& state) {
+  sperr::Rng rng(2);
+  double block[64];
+  for (auto& v : block) v = rng.gaussian();
+  sperr::zfplike::BlockParams params;
+  params.dims = 3;
+  params.minexp = -20;
+  for (auto _ : state) {
+    sperr::BitWriter bw;
+    sperr::zfplike::encode_block(bw, block, params);
+    benchmark::DoNotOptimize(bw.byte_count());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_ZfpBlockEncode);
+
+void BM_SperrEndToEnd(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  const auto& vol = test_volume(dims);
+  sperr::Config cfg;
+  cfg.tolerance = sperr::tolerance_from_idx(vol.data(), vol.size(), int(state.range(0)));
+  for (auto _ : state) {
+    auto blob = sperr::compress(vol.data(), dims, cfg);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(vol.size()));
+}
+BENCHMARK(BM_SperrEndToEnd)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SyntheticGenerator(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  for (auto _ : state) {
+    auto f = sperr::data::nyx_dark_matter_density(dims, uint64_t(state.iterations()));
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(dims.total()));
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

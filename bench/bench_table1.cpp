@@ -1,0 +1,38 @@
+// Table I reproduction: translation of the tolerance label idx into an
+// actual point-wise error tolerance t = Range / 2^idx, illustrated on a
+// concrete field so the absolute magnitudes are visible.
+
+#include <cstdio>
+
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "sperr/sperr.h"
+#include "support.h"
+
+int main() {
+  bench::print_title("Table I: tolerance label idx -> PWE tolerance t = Range / 2^idx");
+
+  const auto& field = bench::field_by_label("Press");
+  const auto data = bench::load_field(field);
+  const auto stats = sperr::compute_stats(data.data(), data.size());
+  std::printf("Example field: %s (%s), Range = %.6g\n\n", field.label.c_str(),
+              field.dims.to_string().c_str(), stats.range());
+
+  std::printf("%-5s %-22s %-28s %s\n", "idx", "t (formula)", "t (this field)",
+              "intuition");
+  bench::print_rule();
+  const struct {
+    int idx;
+    const char* intuition;
+  } rows[] = {
+      {10, "one thousandth of the data range"},
+      {20, "one millionth of the data range"},
+      {30, "one billionth of the data range"},
+      {40, "one trillionth of the data range"},
+  };
+  for (const auto& r : rows) {
+    const double t = sperr::tolerance_from_idx(data.data(), data.size(), r.idx);
+    std::printf("%-5d Range/2^%-13d %-28.6g %s\n", r.idx, r.idx, t, r.intuition);
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Compressor shoot-out on your own workload: runs all five compressors of
+// the paper's evaluation on one field at one tolerance and prints a summary
+// you can use to pick a tool — the miniature version of Figs. 8-10.
+//
+// Usage: compressor_shootout [field] [idx]
+//   field: one of the synthetic generators (default miranda_density)
+//   idx:   tolerance label, t = Range / 2^idx (default 20)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "baselines/mgardlike/compressor.h"
+#include "baselines/szlike/compressor.h"
+#include "baselines/tthreshlike/compressor.h"
+#include "baselines/zfplike/compressor.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "sperr/sperr.h"
+
+namespace {
+
+struct Row {
+  std::string name;
+  double bpp = 0, psnr = 0, max_err = 0, seconds = 0;
+  bool bounded = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string field_name = argc > 1 ? argv[1] : "miranda_density";
+  const int idx = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  const sperr::Dims dims{96, 96, 96};
+  std::vector<double> field;
+  try {
+    field = sperr::data::make_field(field_name, dims);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\nvalid fields:", e.what());
+    for (const auto& n : sperr::data::field_names()) std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const double t = sperr::tolerance_from_idx(field.data(), field.size(), idx);
+  std::printf("field %s (%s), idx=%d => PWE tolerance t=%.4g\n\n",
+              field_name.c_str(), dims.to_string().c_str(), idx, t);
+
+  std::vector<Row> rows;
+  auto run = [&](const std::string& name, auto&& compress_fn, auto&& decompress_fn) {
+    Row r;
+    r.name = name;
+    sperr::Timer timer;
+    const std::vector<uint8_t> blob = compress_fn();
+    r.seconds = timer.seconds();
+    std::vector<double> recon;
+    sperr::Dims od;
+    if (decompress_fn(blob, recon, od) != sperr::Status::ok) {
+      std::fprintf(stderr, "%s: decompression failed\n", name.c_str());
+      return;
+    }
+    const auto q = sperr::metrics::compare(field.data(), recon.data(), field.size());
+    r.bpp = double(blob.size()) * 8 / double(field.size());
+    r.psnr = q.psnr;
+    r.max_err = q.max_pwe;
+    r.bounded = q.max_pwe <= t;
+    rows.push_back(r);
+  };
+
+  run("SPERR",
+      [&] {
+        sperr::Config cfg;
+        cfg.tolerance = t;
+        return sperr::compress(field.data(), dims, cfg);
+      },
+      [&](const std::vector<uint8_t>& b, std::vector<double>& o, sperr::Dims& d) {
+        return sperr::decompress(b.data(), b.size(), o, d);
+      });
+  run("SZ-like",
+      [&] { return sperr::szlike::compress(field.data(), dims, t); },
+      [&](const std::vector<uint8_t>& b, std::vector<double>& o, sperr::Dims& d) {
+        return sperr::szlike::decompress(b.data(), b.size(), o, d);
+      });
+  run("ZFP-like",
+      [&] { return sperr::zfplike::compress_accuracy(field.data(), dims, t); },
+      [&](const std::vector<uint8_t>& b, std::vector<double>& o, sperr::Dims& d) {
+        return sperr::zfplike::decompress(b.data(), b.size(), o, d);
+      });
+  run("MGARD-like",
+      [&] { return sperr::mgardlike::compress(field.data(), dims, t); },
+      [&](const std::vector<uint8_t>& b, std::vector<double>& o, sperr::Dims& d) {
+        return sperr::mgardlike::decompress(b.data(), b.size(), o, d);
+      });
+  run("TTHRESH-like (PSNR target)",
+      [&] {
+        return sperr::tthreshlike::compress(field.data(), dims, 6.02059991 * idx);
+      },
+      [&](const std::vector<uint8_t>& b, std::vector<double>& o, sperr::Dims& d) {
+        return sperr::tthreshlike::decompress(b.data(), b.size(), o, d);
+      });
+
+  std::printf("%-28s %10s %10s %12s %10s %8s\n", "compressor", "bits/pt",
+              "PSNR dB", "max err/t", "time (s)", "bounded");
+  for (const auto& r : rows)
+    std::printf("%-28s %10.3f %10.1f %12.3f %10.2f %8s\n", r.name.c_str(), r.bpp,
+                r.psnr, r.max_err / t, r.seconds, r.bounded ? "yes" : "NO");
+  return 0;
+}

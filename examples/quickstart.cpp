@@ -1,0 +1,51 @@
+// Quickstart: compress a 3-D field with a point-wise error guarantee,
+// decompress it, and verify the guarantee held.
+//
+//   $ ./quickstart
+//
+// demonstrates the three calls that make up the core API:
+//   sperr::tolerance_from_idx, sperr::compress, sperr::decompress.
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "sperr/sperr.h"
+
+int main() {
+  // 1. Get some data: a turbulence-like synthetic field. Replace this with
+  //    your own contiguous array (x fastest, then y, then z).
+  const sperr::Dims dims{128, 128, 64};
+  const std::vector<double> field = sperr::data::miranda_pressure(dims);
+  std::printf("input : %s doubles (%.1f MB)\n", dims.to_string().c_str(),
+              double(field.size() * sizeof(double)) / 1048576.0);
+
+  // 2. Pick a tolerance: one millionth of the data range (Table I, idx=20).
+  sperr::Config cfg;
+  cfg.mode = sperr::Mode::pwe;
+  cfg.tolerance = sperr::tolerance_from_idx(field.data(), field.size(), 20);
+  std::printf("bound : every value within t = %.3g of the original\n", cfg.tolerance);
+
+  // 3. Compress.
+  sperr::Stats stats;
+  const std::vector<uint8_t> blob = sperr::compress(field.data(), dims, cfg, &stats);
+  std::printf("output: %.2f MB  (%.2f bits/point, %.1fx reduction, %zu outliers corrected)\n",
+              double(blob.size()) / 1048576.0, stats.bpp,
+              double(field.size() * sizeof(double)) / double(blob.size()),
+              stats.num_outliers);
+
+  // 4. Decompress and verify.
+  std::vector<double> recon;
+  sperr::Dims out_dims;
+  if (sperr::decompress(blob.data(), blob.size(), recon, out_dims) !=
+      sperr::Status::ok) {
+    std::fprintf(stderr, "decompression failed\n");
+    return 1;
+  }
+  const auto q = sperr::metrics::compare(field.data(), recon.data(), field.size());
+  std::printf("check : max point-wise error %.3g (<= t? %s), PSNR %.1f dB\n",
+              q.max_pwe, q.max_pwe <= cfg.tolerance ? "yes" : "NO — BUG",
+              q.psnr);
+  return q.max_pwe <= cfg.tolerance ? 0 : 1;
+}

@@ -1,0 +1,184 @@
+#include "baselines/mgardlike/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/byteio.h"
+#include "baselines/szlike/quant_bins.h"
+
+namespace sperr::mgardlike {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4b44474d;  // "MGDK"
+constexpr int32_t kRawSentinel = INT32_MIN;
+
+size_t anchor_stride(Dims dims, size_t* levels_out) {
+  const size_t max_dim = std::max({dims.x, dims.y, dims.z});
+  size_t s = 1, levels = 0;
+  while (s * 2 <= max_dim && s < 64) {
+    s *= 2;
+    ++levels;
+  }
+  if (levels_out) *levels_out = levels;
+  return s;
+}
+
+/// Piecewise-linear prediction of the midpoint along one axis; falls back to
+/// copying the left neighbour at the right edge.
+template <class At>
+double predict_axis(At&& at, size_t p, size_t h, size_t n) {
+  const double l1 = at(p - h);
+  if (p + h >= n) return l1;
+  return 0.5 * (l1 + at(p + h));
+}
+
+/// Same traversal shape as the SZ-like interpolation levels: per stride
+/// level, refine along x, then y, then z. `src` supplies the values
+/// predictions are computed from (originals during decomposition,
+/// reconstructions during decode).
+template <class Cb>
+void traverse(const Dims& dims, size_t S, const double* src, Cb&& cb) {
+  for (size_t s = S; s >= 2; s /= 2) {
+    const size_t h = s / 2;
+    for (size_t z = 0; z < dims.z; z += s)
+      for (size_t y = 0; y < dims.y; y += s)
+        for (size_t x = h; x < dims.x; x += s) {
+          const size_t row = dims.index(0, y, z);
+          cb(row + x,
+             predict_axis([&](size_t i) { return src[row + i]; }, x, h, dims.x));
+        }
+    for (size_t z = 0; z < dims.z; z += s)
+      for (size_t y = h; y < dims.y; y += s)
+        for (size_t x = 0; x < dims.x; x += h)
+          cb(dims.index(x, y, z),
+             predict_axis([&](size_t i) { return src[dims.index(x, i, z)]; }, y,
+                          h, dims.y));
+    for (size_t z = h; z < dims.z; z += s)
+      for (size_t y = 0; y < dims.y; y += h)
+        for (size_t x = 0; x < dims.x; x += h)
+          cb(dims.index(x, y, z),
+             predict_axis([&](size_t i) { return src[dims.index(x, y, i)]; }, z,
+                          h, dims.z));
+    if (s == 2) break;
+  }
+}
+
+template <class Cb>
+void for_each_anchor(const Dims& dims, size_t S, Cb&& cb) {
+  for (size_t z = 0; z < dims.z; z += S)
+    for (size_t y = 0; y < dims.y; y += S)
+      for (size_t x = 0; x < dims.x; x += S) cb(dims.index(x, y, z));
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress(const double* data, Dims dims, double tol) {
+  if (!(tol > 0.0)) throw std::invalid_argument("mgardlike: tolerance must be > 0");
+  size_t levels = 0;
+  const size_t S = anchor_stride(dims, &levels);
+  // Split the tolerance across the hierarchy: interpolation propagates each
+  // level's quantization error to every finer level. (Propagation chains can
+  // be longer than levels+1 in the worst case — see the header note.)
+  const double bin_width = 2.0 * tol / double(levels + 2);
+
+  std::vector<double> anchors;
+  for_each_anchor(dims, S, [&](size_t idx) { anchors.push_back(data[idx]); });
+
+  // True multilevel decomposition: details are residuals against linear
+  // interpolation of the *original* coarser values.
+  std::vector<int32_t> bins;
+  std::vector<double> raw_values;
+  traverse(dims, S, data, [&](size_t idx, double pred) {
+    const double scaled = (data[idx] - pred) / bin_width;
+    if (std::fabs(scaled) > double(1 << 30)) {
+      bins.push_back(kRawSentinel);
+      raw_values.push_back(data[idx]);
+    } else {
+      bins.push_back(int32_t(std::llround(scaled)));
+    }
+  });
+
+  std::vector<uint8_t> out;
+  put_u32(out, kMagic);
+  put_u64(out, dims.x);
+  put_u64(out, dims.y);
+  put_u64(out, dims.z);
+  put_f64(out, tol);
+  put_u64(out, anchors.size());
+  for (double a : anchors) put_f64(out, a);
+  put_u64(out, raw_values.size());
+  for (double v : raw_values) put_f64(out, v);
+  const auto bin_stream = szlike::encode_quant_bins(bins);
+  put_u64(out, bin_stream.size());
+  out.insert(out.end(), bin_stream.begin(), bin_stream.end());
+  return out;
+}
+
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims) try {
+  ByteReader br(stream, nbytes);
+  if (br.u32() != kMagic) return Status::corrupt_stream;
+  dims.x = br.u64();
+  dims.y = br.u64();
+  dims.z = br.u64();
+  const double tol = br.f64();
+  if (!br.ok() || !plausible_dims(dims) || !(tol > 0.0))
+    return Status::corrupt_stream;
+
+  size_t levels = 0;
+  const size_t S = anchor_stride(dims, &levels);
+  const double bin_width = 2.0 * tol / double(levels + 2);
+
+  const uint64_t num_anchors = br.u64();
+  if (num_anchors > br.remaining() / 8) return Status::truncated_stream;
+  std::vector<double> anchors(num_anchors);
+  for (auto& a : anchors) a = br.f64();
+  const uint64_t num_raw = br.u64();
+  if (num_raw > br.remaining() / 8) return Status::truncated_stream;
+  std::vector<double> raw_values(num_raw);
+  for (auto& v : raw_values) v = br.f64();
+  const uint64_t bin_len = br.u64();
+  if (!br.ok()) return Status::truncated_stream;
+  const uint8_t* bin_data = br.raw(bin_len);
+  if (!bin_data) return Status::truncated_stream;
+
+  std::vector<int32_t> bins;
+  if (const Status s = szlike::decode_quant_bins(bin_data, bin_len, bins);
+      s != Status::ok)
+    return s;
+
+  out.assign(dims.total(), 0.0);
+  size_t apos = 0;
+  for_each_anchor(dims, S, [&](size_t idx) {
+    if (apos < anchors.size()) out[idx] = anchors[apos++];
+  });
+  if (apos != anchors.size()) return Status::corrupt_stream;
+
+  // Reconstruction interpolates from *reconstructed* coarser values — this
+  // is where the per-level error budget gets consumed.
+  size_t bpos = 0, rpos = 0;
+  bool ok = true;
+  traverse(dims, S, out.data(), [&](size_t idx, double pred) {
+    if (bpos >= bins.size()) {
+      ok = false;
+      return;
+    }
+    const int32_t bin = bins[bpos++];
+    if (bin == kRawSentinel) {
+      if (rpos >= raw_values.size()) {
+        ok = false;
+        return;
+      }
+      out[idx] = raw_values[rpos++];
+    } else {
+      out[idx] = pred + double(bin) * bin_width;
+    }
+  });
+  return ok ? Status::ok : Status::corrupt_stream;
+} catch (const std::bad_alloc&) {
+  return Status::corrupt_stream;
+}
+
+}  // namespace sperr::mgardlike

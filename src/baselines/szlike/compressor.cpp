@@ -1,0 +1,214 @@
+#include "baselines/szlike/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/byteio.h"
+#include "baselines/szlike/quant_bins.h"
+
+namespace sperr::szlike {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x334b5a53;  // "SZK3"
+constexpr int32_t kRawSentinel = INT32_MIN;  ///< bin value marking a raw-stored point
+
+size_t anchor_stride(Dims dims) {
+  const size_t max_dim = std::max({dims.x, dims.y, dims.z});
+  size_t s = 1;
+  while (s * 2 <= max_dim && s < 64) s *= 2;
+  return s;
+}
+
+/// Cubic (4-point) interpolation of the midpoint between l1 and r1.
+inline double cubic(double l2, double l1, double r1, double r2) {
+  return (-l2 + 9.0 * l1 + 9.0 * r1 - r2) / 16.0;
+}
+
+/// Predict the value at offset `p` along one axis of length `n`, where grid
+/// values at multiples of h (below p) and at p+h, p+3h (if present) are
+/// already reconstructed. `at(i)` reads the reconstructed value at offset i.
+template <class At>
+double predict_axis(At&& at, size_t p, size_t h, size_t n) {
+  const double l1 = at(p - h);
+  if (p + h >= n) {
+    // Right edge: fall back to the nearest known value.
+    return l1;
+  }
+  const double r1 = at(p + h);
+  if (p >= 3 * h && p + 3 * h < n) return cubic(at(p - 3 * h), l1, r1, at(p + 3 * h));
+  return 0.5 * (l1 + r1);
+}
+
+/// Walk every predicted point in the exact order both encoder and decoder
+/// must follow, invoking cb(linear_index, predicted_value). `recon` is read
+/// for neighbours, so cb must store the reconstructed value back into it
+/// before the traversal continues.
+template <class Cb>
+void traverse(const Dims& dims, size_t S, const double* recon, Cb&& cb) {
+  for (size_t s = S; s >= 2; s /= 2) {
+    const size_t h = s / 2;
+    // Pass 1: interpolate along x on the coarse (y, z) grid.
+    for (size_t z = 0; z < dims.z; z += s)
+      for (size_t y = 0; y < dims.y; y += s)
+        for (size_t x = h; x < dims.x; x += s) {
+          const size_t row = dims.index(0, y, z);
+          const double pred = predict_axis(
+              [&](size_t i) { return recon[row + i]; }, x, h, dims.x);
+          cb(row + x, pred);
+        }
+    // Pass 2: along y, x already refined to the h grid.
+    for (size_t z = 0; z < dims.z; z += s)
+      for (size_t y = h; y < dims.y; y += s)
+        for (size_t x = 0; x < dims.x; x += h) {
+          const double pred = predict_axis(
+              [&](size_t i) { return recon[dims.index(x, i, z)]; }, y, h, dims.y);
+          cb(dims.index(x, y, z), pred);
+        }
+    // Pass 3: along z, x and y refined to the h grid.
+    for (size_t z = h; z < dims.z; z += s)
+      for (size_t y = 0; y < dims.y; y += h)
+        for (size_t x = 0; x < dims.x; x += h) {
+          const double pred = predict_axis(
+              [&](size_t i) { return recon[dims.index(x, y, i)]; }, z, h, dims.z);
+          cb(dims.index(x, y, z), pred);
+        }
+    if (s == 2) break;  // s /= 2 on size_t 2 -> 1 would loop forever at 1
+  }
+}
+
+template <class Cb>
+void for_each_anchor(const Dims& dims, size_t S, Cb&& cb) {
+  for (size_t z = 0; z < dims.z; z += S)
+    for (size_t y = 0; y < dims.y; y += S)
+      for (size_t x = 0; x < dims.x; x += S) cb(dims.index(x, y, z));
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress(const double* data, Dims dims, double eb,
+                              SzStats* stats) {
+  if (!(eb > 0.0)) throw std::invalid_argument("szlike: error bound must be > 0");
+  const size_t n = dims.total();
+  const size_t S = anchor_stride(dims);
+  // Slightly under 2*eb so reconstruction rounding at machine-precision
+  // tolerances cannot nudge the error past the bound.
+  const double bin_width = 2.0 * eb * (1.0 - 1e-6);
+
+  std::vector<double> recon(n, 0.0);
+  std::vector<double> anchors;
+  for_each_anchor(dims, S, [&](size_t idx) {
+    anchors.push_back(data[idx]);
+    recon[idx] = data[idx];  // anchors are exact
+  });
+
+  std::vector<int32_t> bins;
+  bins.reserve(n - anchors.size());
+  std::vector<double> raw_values;
+  traverse(dims, S, recon.data(), [&](size_t idx, double pred) {
+    const double err = data[idx] - pred;
+    const double scaled = err / bin_width;
+    // Verify the achieved error with margin for decoder-side rounding; a
+    // point that cannot be safely quantized (overflow, or a tolerance so
+    // tight that fp rounding eats the slack) is stored raw.
+    if (std::fabs(scaled) <= double(1 << 30)) {
+      const auto bin = int32_t(std::llround(scaled));
+      const double r = pred + double(bin) * bin_width;
+      if (std::fabs(data[idx] - r) <= 0.999 * eb) {
+        bins.push_back(bin);
+        recon[idx] = r;
+        return;
+      }
+    }
+    bins.push_back(kRawSentinel);
+    raw_values.push_back(data[idx]);
+    recon[idx] = data[idx];
+  });
+
+  std::vector<uint8_t> out;
+  put_u32(out, kMagic);
+  put_u64(out, dims.x);
+  put_u64(out, dims.y);
+  put_u64(out, dims.z);
+  put_f64(out, eb);
+  put_u64(out, anchors.size());
+  for (double a : anchors) put_f64(out, a);
+  put_u64(out, raw_values.size());
+  for (double v : raw_values) put_f64(out, v);
+
+  const auto bin_stream = encode_quant_bins(bins);
+  put_u64(out, bin_stream.size());
+  out.insert(out.end(), bin_stream.begin(), bin_stream.end());
+
+  if (stats) {
+    stats->num_points = n;
+    stats->num_anchors = anchors.size();
+    stats->num_unpredictable = raw_values.size();
+  }
+  return out;
+}
+
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims) try {
+  ByteReader br(stream, nbytes);
+  if (br.u32() != kMagic) return Status::corrupt_stream;
+  dims.x = br.u64();
+  dims.y = br.u64();
+  dims.z = br.u64();
+  const double eb = br.f64();
+  if (!br.ok() || !plausible_dims(dims) || !(eb > 0.0))
+    return Status::corrupt_stream;
+
+  const size_t n = dims.total();
+  const size_t S = anchor_stride(dims);
+  const double bin_width = 2.0 * eb * (1.0 - 1e-6);  // must match the encoder
+
+  const uint64_t num_anchors = br.u64();
+  if (num_anchors > br.remaining() / 8) return Status::truncated_stream;
+  std::vector<double> anchors(num_anchors);
+  for (auto& a : anchors) a = br.f64();
+  const uint64_t num_raw = br.u64();
+  if (num_raw > br.remaining() / 8) return Status::truncated_stream;
+  std::vector<double> raw_values(num_raw);
+  for (auto& v : raw_values) v = br.f64();
+  const uint64_t bin_len = br.u64();
+  if (!br.ok()) return Status::truncated_stream;
+  const uint8_t* bin_data = br.raw(bin_len);
+  if (!bin_data) return Status::truncated_stream;
+
+  std::vector<int32_t> bins;
+  if (const Status s = decode_quant_bins(bin_data, bin_len, bins); s != Status::ok)
+    return s;
+
+  out.assign(n, 0.0);
+  size_t anchor_pos = 0;
+  for_each_anchor(dims, S, [&](size_t idx) {
+    if (anchor_pos < anchors.size()) out[idx] = anchors[anchor_pos++];
+  });
+  if (anchor_pos != anchors.size()) return Status::corrupt_stream;
+
+  size_t bin_pos = 0, raw_pos = 0;
+  bool ok = true;
+  traverse(dims, S, out.data(), [&](size_t idx, double pred) {
+    if (bin_pos >= bins.size()) {
+      ok = false;
+      return;
+    }
+    const int32_t bin = bins[bin_pos++];
+    if (bin == kRawSentinel) {
+      if (raw_pos >= raw_values.size()) {
+        ok = false;
+        return;
+      }
+      out[idx] = raw_values[raw_pos++];
+    } else {
+      out[idx] = pred + double(bin) * bin_width;
+    }
+  });
+  return ok ? Status::ok : Status::corrupt_stream;
+} catch (const std::bad_alloc&) {
+  return Status::corrupt_stream;
+}
+
+}  // namespace sperr::szlike

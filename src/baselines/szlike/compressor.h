@@ -1,0 +1,38 @@
+#pragma once
+
+// SZ3-style error-bounded lossy compressor (clean-room reproduction of the
+// algorithmic core of Liang et al., "SZ3: a modular framework...", and Zhao
+// et al., "Optimizing error-bounded lossy compression ... by dynamic spline
+// interpolation"). Serves as the prediction-based baseline in the paper's
+// comparison (Figs. 8-10).
+//
+// Pipeline: a coarse anchor grid is stored verbatim; every other point is
+// predicted by multilevel cubic interpolation from already-reconstructed
+// neighbours, level by level (stride 2^L -> 2). Prediction errors are
+// quantized to integer multiples of 2*eb (guaranteeing |err| <= eb) and
+// Huffman-coded with SZ's quantization-bin scheme, then passed through the
+// lossless back end.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::szlike {
+
+struct SzStats {
+  size_t num_points = 0;
+  size_t num_anchors = 0;
+  size_t num_unpredictable = 0;  ///< stored raw (bin overflow)
+};
+
+/// Compress with absolute error bound eb (> 0): every reconstructed value is
+/// within eb of the original.
+std::vector<uint8_t> compress(const double* data, Dims dims, double eb,
+                              SzStats* stats = nullptr);
+
+/// Decompress a stream produced by compress().
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims);
+
+}  // namespace sperr::szlike

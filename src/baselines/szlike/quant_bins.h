@@ -1,0 +1,35 @@
+#pragma once
+
+// SZ's quantization-bin codec (paper §VI-E): a dense array of signed integer
+// quantization codes — zero for predictable/inlier points, small non-zero
+// integers elsewhere — is Huffman-coded and then passed through the lossless
+// back end (SZ uses ZSTD; we use the built-in codec). This is the exact
+// scheme the paper benchmarks SPERR's outlier coder against in Fig. 11
+// (SZ's `compressQuantBins` tool from the QCAT package).
+//
+// Codes outside ±(kCapacity-1) are escaped and stored verbatim.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::szlike {
+
+inline constexpr int32_t kCapacity = 32768;  ///< SZ's default bin capacity
+
+struct QuantBinStats {
+  size_t huffman_bits = 0;   ///< entropy-coded payload size
+  size_t total_bytes = 0;    ///< final size after the lossless pass
+  size_t num_escapes = 0;
+};
+
+/// Encode a dense array of signed quantization codes.
+std::vector<uint8_t> encode_quant_bins(const std::vector<int32_t>& bins,
+                                       QuantBinStats* stats = nullptr);
+
+/// Decode a stream produced by encode_quant_bins.
+Status decode_quant_bins(const uint8_t* data, size_t size,
+                         std::vector<int32_t>& bins);
+
+}  // namespace sperr::szlike

@@ -1,0 +1,192 @@
+#include "baselines/tthreshlike/compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/byteio.h"
+#include "common/stats.h"
+#include "baselines/tthreshlike/linalg.h"
+#include "speck/decoder.h"
+#include "speck/encoder.h"
+
+namespace sperr::tthreshlike {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4b485454;  // "TTHK"
+constexpr double kFactorScale = 32767.0;
+
+size_t mode_size(Dims d, int mode) {
+  return mode == 0 ? d.x : mode == 1 ? d.y : d.z;
+}
+
+/// Gram matrix of the mode-m unfolding: G = X_(m) * X_(m)^T, an n_m x n_m
+/// symmetric matrix whose eigenvectors are the HOSVD factor of that mode.
+Matrix gram(const std::vector<double>& x, Dims d, int mode) {
+  const size_t n = mode_size(d, mode);
+  Matrix g(n, n);
+  // Accumulate outer products fiber by fiber.
+  std::vector<double> fiber(n);
+  const size_t n_fibers = d.total() / n;
+  for (size_t f = 0; f < n_fibers; ++f) {
+    // Decompose the fiber id into the two non-mode coordinates.
+    size_t c1, c2;
+    if (mode == 0) {
+      c1 = f % d.y;
+      c2 = f / d.y;
+      for (size_t i = 0; i < n; ++i) fiber[i] = x[d.index(i, c1, c2)];
+    } else if (mode == 1) {
+      c1 = f % d.x;
+      c2 = f / d.x;
+      for (size_t i = 0; i < n; ++i) fiber[i] = x[d.index(c1, i, c2)];
+    } else {
+      c1 = f % d.x;
+      c2 = f / d.x;
+      for (size_t i = 0; i < n; ++i) fiber[i] = x[d.index(c1, c2, i)];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double fi = fiber[i];
+      if (fi == 0.0) continue;
+      for (size_t j = i; j < n; ++j) g(i, j) += fi * fiber[j];
+    }
+  }
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+/// Mode-m product: Y = X x_m U^T when transpose, else X x_m U.
+/// U is n x n (square factors: full HOSVD, truncation happens in coding).
+std::vector<double> mode_product(const std::vector<double>& x, Dims d, int mode,
+                                 const Matrix& u, bool transpose) {
+  const size_t n = mode_size(d, mode);
+  std::vector<double> y(d.total(), 0.0);
+  std::vector<double> in(n), out(n);
+  const size_t n_fibers = d.total() / n;
+  for (size_t f = 0; f < n_fibers; ++f) {
+    size_t c1, c2;
+    auto fiber_index = [&](size_t i) {
+      return mode == 0 ? d.index(i, c1, c2)
+             : mode == 1 ? d.index(c1, i, c2)
+                         : d.index(c1, c2, i);
+    };
+    if (mode == 0) {
+      c1 = f % d.y;
+      c2 = f / d.y;
+    } else {
+      c1 = f % d.x;
+      c2 = f / d.x;
+    }
+    for (size_t i = 0; i < n; ++i) in[i] = x[fiber_index(i)];
+    for (size_t r = 0; r < n; ++r) {
+      double acc = 0.0;
+      if (transpose) {
+        for (size_t i = 0; i < n; ++i) acc += u(i, r) * in[i];  // U^T row r
+      } else {
+        for (size_t i = 0; i < n; ++i) acc += u(r, i) * in[i];
+      }
+      out[r] = acc;
+    }
+    for (size_t i = 0; i < n; ++i) y[fiber_index(i)] = out[i];
+  }
+  return y;
+}
+
+void put_factor(std::vector<uint8_t>& out, const Matrix& u) {
+  put_u32(out, uint32_t(u.rows));
+  for (double v : u.a) {
+    const double clamped = std::clamp(v, -1.0, 1.0);
+    put_u16(out, uint16_t(int16_t(std::lround(clamped * kFactorScale))));
+  }
+}
+
+Matrix get_factor(ByteReader& br) {
+  const uint32_t n = br.u32();
+  if (uint64_t(n) * n * 2 > br.remaining()) return {};  // leaves br !ok on next read
+  Matrix u(n, n);
+  for (auto& v : u.a) v = double(int16_t(br.u16())) / kFactorScale;
+  return u;
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress(const double* data, Dims dims, double target_psnr) {
+  if (!(target_psnr > 0.0))
+    throw std::invalid_argument("tthreshlike: target PSNR must be > 0");
+  const size_t n = dims.total();
+  std::vector<double> x(data, data + n);
+
+  // HOSVD: one factor per mode (degenerate modes get the 1x1 identity).
+  Matrix factors[3];
+  std::vector<double> evals;
+  for (int m = 0; m < 3; ++m) {
+    const Matrix g = gram(x, dims, m);
+    jacobi_eigh(g, evals, factors[m]);
+  }
+
+  // Core = X x1 U1^T x2 U2^T x3 U3^T — orthogonal, so the core's L2 error
+  // maps 1:1 onto the reconstruction's L2 error.
+  std::vector<double> core = x;
+  for (int m = 0; m < 3; ++m)
+    if (mode_size(dims, m) > 1) core = mode_product(core, dims, m, factors[m], true);
+
+  // Translate the PSNR target (peak = range) into a SPECK quantization step:
+  // rmse_target = range / 10^(psnr/20); uniform mid-riser quantization has
+  // rmse ~ q / sqrt(12); halve for factor-quantization headroom.
+  const FieldStats fs = compute_stats(data, n);
+  const double range = fs.range() > 0 ? fs.range() : 1.0;
+  const double rmse_target = range / std::pow(10.0, target_psnr / 20.0);
+  const double q = std::max(rmse_target * std::sqrt(12.0) * 0.5, range * 1e-16);
+
+  const auto core_stream = speck::encode(core.data(), dims, q);
+
+  std::vector<uint8_t> out;
+  put_u32(out, kMagic);
+  put_u64(out, dims.x);
+  put_u64(out, dims.y);
+  put_u64(out, dims.z);
+  put_f64(out, target_psnr);
+  for (int m = 0; m < 3; ++m) put_factor(out, factors[m]);
+  put_u64(out, core_stream.size());
+  out.insert(out.end(), core_stream.begin(), core_stream.end());
+  return out;
+}
+
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims) try {
+  ByteReader br(stream, nbytes);
+  if (br.u32() != kMagic) return Status::corrupt_stream;
+  dims.x = br.u64();
+  dims.y = br.u64();
+  dims.z = br.u64();
+  (void)br.f64();  // target PSNR: informational
+  if (!br.ok() || !plausible_dims(dims)) return Status::corrupt_stream;
+
+  Matrix factors[3];
+  for (auto& f : factors) f = get_factor(br);
+  if (!br.ok()) return Status::truncated_stream;
+  // Factors must match the declared extents (prevents mismatched products).
+  if (factors[0].rows != dims.x || factors[1].rows != dims.y ||
+      factors[2].rows != dims.z)
+    return Status::corrupt_stream;
+  const uint64_t core_len = br.u64();
+  if (!br.ok()) return Status::truncated_stream;
+  const uint8_t* core_data = br.raw(core_len);
+  if (!core_data) return Status::truncated_stream;
+
+  std::vector<double> core(dims.total());
+  if (const Status s = speck::decode(core_data, core_len, dims, core.data());
+      s != Status::ok)
+    return s;
+
+  // Reconstruct: X = C x1 U1 x2 U2 x3 U3.
+  out = std::move(core);
+  for (int m = 2; m >= 0; --m)
+    if (mode_size(dims, m) > 1) out = mode_product(out, dims, m, factors[m], false);
+  return Status::ok;
+} catch (const std::bad_alloc&) {
+  return Status::corrupt_stream;
+}
+
+}  // namespace sperr::tthreshlike

@@ -1,0 +1,29 @@
+#pragma once
+
+// TTHRESH-style compressor (clean-room reproduction of the algorithmic core
+// of Ballester-Ripoll, Lindstrom & Pajarola, "TTHRESH: Tensor compression
+// for multidimensional visual data", TVCG 2019): a Tucker/HOSVD
+// decomposition produces *data-dependent* orthonormal bases per mode; the
+// resulting core tensor concentrates energy far more aggressively than any
+// fixed transform, and is then coded bitplane-wise (here with the project's
+// SPECK coder — an embedded coder playing the role of TTHRESH's own
+// bitplane/RLE scheme). Factor matrices travel quantized to 16 bits.
+//
+// Like the real TTHRESH, this baseline targets an *average* error (a PSNR
+// target), not a point-wise bound (paper §VI-C/D handles it accordingly).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::tthreshlike {
+
+/// Compress a 3-D field targeting the given PSNR (dB, peak = data range).
+std::vector<uint8_t> compress(const double* data, Dims dims, double target_psnr);
+
+/// Decompress a stream produced by compress().
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims);
+
+}  // namespace sperr::tthreshlike

@@ -1,0 +1,75 @@
+#include "baselines/tthreshlike/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sperr::tthreshlike {
+
+void jacobi_eigh(const Matrix& sym, std::vector<double>& evals, Matrix& evecs,
+                 int max_sweeps, double tol) {
+  const size_t n = sym.rows;
+  Matrix a = sym;
+  evecs = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) evecs(i, i) = 1.0;
+
+  // Scale-aware convergence threshold.
+  double frob = 0.0;
+  for (double v : a.a) frob += v * v;
+  const double stop = tol * std::sqrt(frob) / double(n ? n : 1);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p)
+      for (size_t q = p + 1; q < n; ++q) off = std::max(off, std::fabs(a(p, q)));
+    if (off <= stop) break;
+
+    for (size_t p = 0; p + 1 < n; ++p)
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= stop * 1e-3) continue;
+        const double app = a(p, p), aqq = a(q, q);
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to A (both sides) and accumulate into evecs.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = evecs(k, p), vkq = evecs(k, q);
+          evecs(k, p) = c * vkp - s * vkq;
+          evecs(k, q) = s * vkp + c * vkq;
+        }
+      }
+  }
+
+  // Sort by descending eigenvalue, permuting eigenvector columns to match.
+  evals.resize(n);
+  for (size_t i = 0; i < n; ++i) evals[i] = a(i, i);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t(0));
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return evals[x] > evals[y]; });
+
+  std::vector<double> sorted_vals(n);
+  Matrix sorted_vecs(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted_vals[j] = evals[order[j]];
+    for (size_t i = 0; i < n; ++i) sorted_vecs(i, j) = evecs(i, order[j]);
+  }
+  evals = std::move(sorted_vals);
+  evecs = std::move(sorted_vecs);
+}
+
+}  // namespace sperr::tthreshlike

@@ -1,0 +1,30 @@
+#pragma once
+
+// Dense symmetric eigensolver (cyclic Jacobi) used by the TTHRESH-like
+// baseline to compute HOSVD factor matrices from Gram matrices of tensor
+// unfoldings. Self-contained — no BLAS/LAPACK dependency.
+
+#include <cstddef>
+#include <vector>
+
+namespace sperr::tthreshlike {
+
+/// Row-major dense matrix, just enough for the Tucker machinery.
+struct Matrix {
+  size_t rows = 0, cols = 0;
+  std::vector<double> a;
+
+  Matrix() = default;
+  Matrix(size_t r, size_t c) : rows(r), cols(c), a(r * c, 0.0) {}
+
+  double& operator()(size_t i, size_t j) { return a[i * cols + j]; }
+  double operator()(size_t i, size_t j) const { return a[i * cols + j]; }
+};
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// On return `evals` holds eigenvalues in descending order and the columns
+/// of `evecs` the matching orthonormal eigenvectors.
+void jacobi_eigh(const Matrix& sym, std::vector<double>& evals, Matrix& evecs,
+                 int max_sweeps = 30, double tol = 1e-12);
+
+}  // namespace sperr::tthreshlike

@@ -1,0 +1,26 @@
+#pragma once
+
+// Volume-level driver for the ZFP-style block codec: cuts a field into 4^d
+// blocks (partial blocks padded by edge replication), streams them through
+// the block codec, and exposes the two classic ZFP termination modes:
+// fixed-accuracy (absolute error tolerance) and fixed-rate (bits per value).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::zfplike {
+
+/// Fixed-accuracy compression: reconstruction error bounded by ~tolerance.
+std::vector<uint8_t> compress_accuracy(const double* data, Dims dims,
+                                       double tolerance);
+
+/// Fixed-rate compression: every block gets exactly round(bpp * 4^d) bits.
+std::vector<uint8_t> compress_rate(const double* data, Dims dims, double bpp);
+
+/// Decompress either mode.
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims);
+
+}  // namespace sperr::zfplike

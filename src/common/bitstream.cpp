@@ -1,0 +1,16 @@
+#include "common/bitstream.h"
+
+namespace sperr {
+
+void BitWriter::put_bits(uint64_t value, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) put((value >> i) & 1u);
+}
+
+uint64_t BitReader::get_bits(unsigned count) {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i)
+    if (get()) v |= uint64_t(1) << i;
+  return v;
+}
+
+}  // namespace sperr

@@ -1,0 +1,75 @@
+#pragma once
+
+// Bit-level serialization used by every entropy-coding stage (SPECK, the
+// outlier coder, Huffman). Bits are packed LSB-first into bytes so that a
+// stream can be truncated at any byte boundary and remain a decodable prefix
+// (the property SPECK's embedded coding relies on).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sperr {
+
+/// Append-only bit writer. Bits are packed LSB-first within each byte.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void put(bool bit) {
+    if (nbit_ % 8 == 0) bytes_.push_back(0);
+    if (bit) bytes_.back() |= uint8_t(1u << (nbit_ % 8));
+    ++nbit_;
+  }
+
+  /// Append `count` bits of `value`, least-significant bit first.
+  void put_bits(uint64_t value, unsigned count);
+
+  [[nodiscard]] size_t bit_count() const { return nbit_; }
+  [[nodiscard]] size_t byte_count() const { return bytes_.size(); }
+
+  /// Steal the packed bytes (trailing bits of the last byte are zero).
+  [[nodiscard]] std::vector<uint8_t> take() { nbit_ = 0; return std::move(bytes_); }
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+  void clear() { bytes_.clear(); nbit_ = 0; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t nbit_ = 0;
+};
+
+/// Sequential bit reader over an externally owned byte range. Reading past
+/// the end does not throw: it returns 0-bits and latches `exhausted()`, which
+/// lets embedded-stream decoders terminate exactly where the encoder stopped.
+class BitReader {
+ public:
+  BitReader() = default;
+  BitReader(const uint8_t* data, size_t nbytes, size_t nbits = SIZE_MAX)
+      : data_(data), nbits_(nbits == SIZE_MAX ? nbytes * 8 : nbits) {}
+
+  [[nodiscard]] bool get() {
+    if (pos_ >= nbits_) {
+      exhausted_ = true;
+      return false;
+    }
+    const bool bit = (data_[pos_ / 8] >> (pos_ % 8)) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  /// Read `count` bits, least-significant first. Missing bits read as zero.
+  [[nodiscard]] uint64_t get_bits(unsigned count);
+
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] size_t bits_read() const { return pos_; }
+  [[nodiscard]] size_t bits_left() const { return pos_ < nbits_ ? nbits_ - pos_ : 0; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t nbits_ = 0;
+  size_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace sperr

@@ -1,0 +1,46 @@
+#pragma once
+
+// Little-endian scalar (de)serialization for container headers. All on-disk
+// integers in this code base are little endian regardless of host order.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr {
+
+void put_u8(std::vector<uint8_t>& out, uint8_t v);
+void put_u16(std::vector<uint8_t>& out, uint16_t v);
+void put_u32(std::vector<uint8_t>& out, uint32_t v);
+void put_u64(std::vector<uint8_t>& out, uint64_t v);
+void put_f64(std::vector<uint8_t>& out, double v);
+
+/// Cursor-based reader; sets `ok = false` (and returns 0) on overrun instead
+/// of reading out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t u8();
+  uint16_t u16();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+
+  /// Raw view of the next `n` bytes (nullptr on overrun).
+  const uint8_t* raw(size_t n);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] size_t pos() const { return pos_; }
+  [[nodiscard]] size_t remaining() const { return pos_ <= size_ ? size_ - pos_ : 0; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace sperr

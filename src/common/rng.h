@@ -1,0 +1,61 @@
+#pragma once
+
+// Deterministic, seedable PRNG (xoshiro256++) so synthetic data sets and
+// property tests reproduce bit-for-bit across platforms. <random> engines and
+// distributions are implementation-defined; we avoid them for data that
+// benchmarks depend on.
+
+#include <cmath>
+#include <cstdint>
+
+namespace sperr {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return double(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double gaussian() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace sperr

@@ -1,0 +1,11 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace sperr {
+
+double FieldStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+}  // namespace sperr

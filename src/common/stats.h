@@ -1,0 +1,44 @@
+#pragma once
+
+// Streaming summary statistics over large fields (mean, variance, range)
+// computed in one pass with a numerically stable (Welford) update. Used by
+// the tolerance-from-idx translation (Table I) and the quality metrics.
+
+#include <cstddef>
+
+namespace sperr {
+
+struct FieldStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations (Welford accumulator)
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    const double delta = v - mean;
+    mean += delta / double(count);
+    m2 += delta * (v - mean);
+  }
+
+  [[nodiscard]] double variance() const { return count ? m2 / double(count) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double range() const { return max - min; }
+};
+
+/// One-pass stats over a contiguous array.
+template <class T>
+FieldStats compute_stats(const T* data, size_t n) {
+  FieldStats s;
+  for (size_t i = 0; i < n; ++i) s.add(double(data[i]));
+  return s;
+}
+
+}  // namespace sperr

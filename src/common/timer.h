@@ -1,0 +1,28 @@
+#pragma once
+
+// Wall-clock stopwatch for the pipeline-stage timing experiments (Figs 6, 7,
+// 10). steady_clock so timings are monotone under NTP adjustments.
+
+#include <chrono>
+
+namespace sperr {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sperr

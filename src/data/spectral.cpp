@@ -1,0 +1,140 @@
+#include "data/spectral.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sperr::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+size_t next_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 1.0 : -1.0) * kTwoPi / double(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse)
+    for (auto& v : a) v /= double(n);
+}
+
+void fft3(std::vector<std::complex<double>>& grid, Dims dims, bool inverse) {
+  std::vector<std::complex<double>> line;
+
+  // Along x (contiguous).
+  line.resize(dims.x);
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y) {
+      const size_t base = dims.index(0, y, z);
+      for (size_t x = 0; x < dims.x; ++x) line[x] = grid[base + x];
+      fft(line, inverse);
+      for (size_t x = 0; x < dims.x; ++x) grid[base + x] = line[x];
+    }
+  // Along y.
+  if (dims.y > 1) {
+    line.resize(dims.y);
+    for (size_t z = 0; z < dims.z; ++z)
+      for (size_t x = 0; x < dims.x; ++x) {
+        for (size_t y = 0; y < dims.y; ++y) line[y] = grid[dims.index(x, y, z)];
+        fft(line, inverse);
+        for (size_t y = 0; y < dims.y; ++y) grid[dims.index(x, y, z)] = line[y];
+      }
+  }
+  // Along z.
+  if (dims.z > 1) {
+    line.resize(dims.z);
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x) {
+        for (size_t z = 0; z < dims.z; ++z) line[z] = grid[dims.index(x, y, z)];
+        fft(line, inverse);
+        for (size_t z = 0; z < dims.z; ++z) grid[dims.index(x, y, z)] = line[z];
+      }
+  }
+}
+
+std::vector<double> gaussian_random_field(Dims dims, double exponent,
+                                          uint64_t seed) {
+  const Dims work{next_pow2(dims.x), dims.y > 1 ? next_pow2(dims.y) : 1,
+                  dims.z > 1 ? next_pow2(dims.z) : 1};
+
+  // White Gaussian noise in real space, shaped in the spectral domain. This
+  // sidesteps explicit Hermitian-symmetry bookkeeping: FFT(real noise) is
+  // already symmetric, and scaling by a real filter preserves that.
+  Rng rng(seed);
+  std::vector<std::complex<double>> grid(work.total());
+  for (auto& v : grid) v = {rng.gaussian(), 0.0};
+  fft3(grid, work, false);
+
+  // Amplitude filter: sqrt(P(k)) ~ k^(exponent/2), isotropic in the signed
+  // frequency index (Nyquist-wrapped).
+  auto freq = [](size_t i, size_t n) {
+    const double f = double(i <= n / 2 ? i : n - i);
+    return f / double(n);
+  };
+  for (size_t z = 0; z < work.z; ++z)
+    for (size_t y = 0; y < work.y; ++y)
+      for (size_t x = 0; x < work.x; ++x) {
+        const double kx = freq(x, work.x);
+        const double ky = work.y > 1 ? freq(y, work.y) : 0.0;
+        const double kz = work.z > 1 ? freq(z, work.z) : 0.0;
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        const size_t idx = work.index(x, y, z);
+        if (k == 0.0) {
+          grid[idx] = 0.0;  // zero-mean field
+        } else {
+          grid[idx] *= std::pow(k, exponent / 2.0);
+        }
+      }
+  fft3(grid, work, true);
+
+  // Crop to the requested extents, then normalize to unit variance.
+  std::vector<double> out(dims.total());
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x)
+        out[dims.index(x, y, z)] = grid[work.index(x, y, z)].real();
+
+  const FieldStats fs = compute_stats(out.data(), out.size());
+  const double scale = fs.stddev() > 0 ? 1.0 / fs.stddev() : 1.0;
+  for (auto& v : out) v = (v - fs.mean) * scale;
+  return out;
+}
+
+std::vector<double> kolmogorov_turbulence(Dims dims, uint64_t seed) {
+  // 3-D power spectral density exponent for Kolmogorov: E(k) ~ k^-5/3 and
+  // P(k) = E(k) / (4 pi k^2) ~ k^-11/3.
+  return gaussian_random_field(dims, -11.0 / 3.0, seed);
+}
+
+}  // namespace sperr::data

@@ -1,0 +1,37 @@
+#pragma once
+
+// Spectral synthesis substrate: a self-contained radix-2 FFT and a Gaussian
+// random field (GRF) generator with a prescribed isotropic power spectrum
+// P(k) ~ k^exponent. Real turbulence data (the Miranda/JHU-style sets the
+// paper evaluates on) has a Kolmogorov k^-5/3 energy spectrum; synthesizing
+// stand-ins directly in the spectral domain gives the most faithful
+// smoothness profile a synthetic field can have, complementing the cheaper
+// octave-noise generators in synthetic.h.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::data {
+
+/// In-place iterative radix-2 FFT; `a.size()` must be a power of two.
+/// `inverse` applies the conjugate transform *and* the 1/N normalization.
+void fft(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Separable 3-D FFT over a grid whose extents are all powers of two.
+void fft3(std::vector<std::complex<double>>& grid, Dims dims, bool inverse);
+
+/// Gaussian random field with isotropic power spectrum P(k) ~ k^exponent
+/// (exponent < 0 = smooth/red, 0 = white). The field is generated on the
+/// smallest power-of-two grid covering `dims`, cropped, and normalized to
+/// zero mean and unit variance. Deterministic per seed.
+std::vector<double> gaussian_random_field(Dims dims, double exponent,
+                                          uint64_t seed);
+
+/// Turbulence-like field with the Kolmogorov spectrum (energy E(k) ~ k^-5/3,
+/// i.e. 3-D power spectral density P(k) ~ k^-11/3).
+std::vector<double> kolmogorov_turbulence(Dims dims, uint64_t seed = 21);
+
+}  // namespace sperr::data

@@ -1,0 +1,291 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "data/spectral.h"
+
+namespace sperr::data {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// Stateless hash of a lattice point -> double in [-1, 1].
+inline uint64_t mix64(uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v;
+}
+
+inline double lattice_value(int64_t ix, int64_t iy, int64_t iz, uint64_t seed) {
+  uint64_t h = seed;
+  h = mix64(h ^ (uint64_t(ix) * 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (uint64_t(iy) * 0xbf58476d1ce4e5b9ULL));
+  h = mix64(h ^ (uint64_t(iz) * 0x94d049bb133111ebULL));
+  return double(h >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+}
+
+inline double fade(double u) {  // Perlin quintic: C2-continuous interpolation
+  return u * u * u * (u * (u * 6.0 - 15.0) + 10.0);
+}
+
+/// Single-octave value noise at continuous lattice coordinates.
+double value_noise(double x, double y, double z, uint64_t seed) {
+  const double fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const auto ix = int64_t(fx), iy = int64_t(fy), iz = int64_t(fz);
+  const double ux = fade(x - fx), uy = fade(y - fy), uz = fade(z - fz);
+
+  double c[2][2][2];
+  for (int dz = 0; dz < 2; ++dz)
+    for (int dy = 0; dy < 2; ++dy)
+      for (int dx = 0; dx < 2; ++dx)
+        c[dz][dy][dx] = lattice_value(ix + dx, iy + dy, iz + dz, seed);
+
+  auto lerp = [](double a, double b, double u) { return a + (b - a) * u; };
+  const double x00 = lerp(c[0][0][0], c[0][0][1], ux);
+  const double x01 = lerp(c[0][1][0], c[0][1][1], ux);
+  const double x10 = lerp(c[1][0][0], c[1][0][1], ux);
+  const double x11 = lerp(c[1][1][0], c[1][1][1], ux);
+  const double y0 = lerp(x00, x01, uy);
+  const double y1 = lerp(x10, x11, uy);
+  return lerp(y0, y1, uz);
+}
+
+/// Evaluate `fn(u, v, w)` over the grid with normalized coordinates in
+/// [0, 1) along each axis, writing into a fresh vector.
+template <class Fn>
+std::vector<double> fill_grid(Dims dims, Fn fn) {
+  std::vector<double> out(dims.total());
+  const double sx = 1.0 / double(dims.x);
+  const double sy = 1.0 / double(dims.y);
+  const double sz = 1.0 / double(dims.z);
+#pragma omp parallel for collapse(2) schedule(static)
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y) {
+      const double w = double(z) * sz;
+      const double v = double(y) * sy;
+      double* row = out.data() + dims.index(0, y, z);
+      for (size_t x = 0; x < dims.x; ++x) row[x] = fn(double(x) * sx, v, w);
+    }
+  return out;
+}
+
+/// A set of randomly placed Gaussian kernels (hotspots / halos / orbital
+/// sites), deterministic per seed.
+struct Kernels {
+  std::vector<double> cx, cy, cz, amp, width;
+
+  Kernels(int count, uint64_t seed, double amp_lo, double amp_hi, double w_lo,
+          double w_hi) {
+    Rng rng(seed);
+    for (int i = 0; i < count; ++i) {
+      cx.push_back(rng.uniform());
+      cy.push_back(rng.uniform());
+      cz.push_back(rng.uniform());
+      amp.push_back(rng.uniform(amp_lo, amp_hi));
+      width.push_back(rng.uniform(w_lo, w_hi));
+    }
+  }
+
+  [[nodiscard]] double eval(double x, double y, double z) const {
+    double v = 0.0;
+    for (size_t i = 0; i < cx.size(); ++i) {
+      const double dx = x - cx[i], dy = y - cy[i], dz = z - cz[i];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      v += amp[i] * std::exp(-r2 / (2.0 * width[i] * width[i]));
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+double fractal_noise(double x, double y, double z, uint64_t seed, int octaves,
+                     double base_freq, double persistence) {
+  double sum = 0.0, amp = 1.0, freq = base_freq, norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * value_noise(x * freq, y * freq, z * freq, seed + uint64_t(o) * 7919);
+    norm += amp;
+    amp *= persistence;
+    freq *= 2.0;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+std::vector<double> miranda_pressure(Dims dims, uint64_t seed) {
+  // Smooth, broad-spectrum turbulence plus a large-scale vertical gradient,
+  // like a pressure field in an RT mixing simulation. Units ~ 1e6 (dyn/cm^2)
+  // to give a realistic absolute scale for the tolerance-from-range math.
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    const double turb = fractal_noise(x, y, z, seed, 6, 4.0, 0.55);
+    const double strat = 1.0 + 0.4 * z + 0.08 * std::sin(kTwoPi * x);
+    return 1.0e6 * (strat + 0.25 * turb);
+  });
+}
+
+std::vector<double> miranda_viscosity(Dims dims, uint64_t seed) {
+  // Effective viscosity concentrated in the mixing layer: smooth background
+  // with a band of enhanced, interface-modulated values.
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    const double interface_pos =
+        0.5 + 0.12 * fractal_noise(x, y, 0.0, seed + 101, 4, 3.0, 0.5);
+    const double d = (z - interface_pos) / 0.08;
+    const double layer = std::exp(-d * d);
+    const double turb = 0.5 + 0.5 * fractal_noise(x, y, z, seed, 5, 6.0, 0.5);
+    return 1.0e-4 + 3.0e-3 * layer * turb;
+  });
+}
+
+std::vector<double> miranda_density(Dims dims, uint64_t seed) {
+  // Two fluids with a perturbed interface and a mixing zone: a tanh profile
+  // through a noisy interface height plus in-layer turbulence.
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    const double interface_pos =
+        0.5 + 0.10 * fractal_noise(x, y, 0.0, seed + 31, 5, 4.0, 0.55);
+    const double mix = std::tanh((z - interface_pos) / 0.05);
+    const double turb = fractal_noise(x, y, z, seed, 6, 8.0, 0.5);
+    return 1.5 + 1.0 * mix + 0.15 * turb * std::exp(-std::pow((z - interface_pos) / 0.15, 2));
+  });
+}
+
+std::vector<double> miranda_velocity_x(Dims dims, uint64_t seed) {
+  // Zero-mean turbulent velocity, broad spectrum.
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    return 50.0 * fractal_noise(x, y, z, seed, 6, 5.0, 0.6);
+  });
+}
+
+std::vector<double> s3d_temperature(Dims dims, uint64_t seed) {
+  // Flame kernels: ambient 800 K, burned pockets near 2300 K with sharp
+  // (but resolved) reaction fronts — the front steepness is what stresses
+  // compressors on combustion data.
+  const Kernels flames(6, seed, 0.8, 1.0, 0.08, 0.18);
+  return fill_grid(dims, [&, seed](double x, double y, double z) {
+    const double k = flames.eval(x, y, z);
+    const double front = 1.0 / (1.0 + std::exp(-(k - 0.45) / 0.03));
+    const double wrinkle = 0.04 * fractal_noise(x, y, z, seed + 3, 5, 12.0, 0.5);
+    return 800.0 + 1500.0 * std::clamp(front + wrinkle * front, 0.0, 1.0);
+  });
+}
+
+std::vector<double> s3d_ch4(Dims dims, uint64_t seed) {
+  // Fuel mass fraction: consumed (≈0) inside burned pockets, ~0.2 outside,
+  // complementary to the temperature field, with mild stratification.
+  const Kernels flames(6, seed - 1, 0.8, 1.0, 0.08, 0.18);  // same layout family
+  return fill_grid(dims, [&, seed](double x, double y, double z) {
+    const double k = flames.eval(x, y, z);
+    const double unburned = 1.0 - 1.0 / (1.0 + std::exp(-(k - 0.45) / 0.03));
+    const double strat = 1.0 + 0.2 * fractal_noise(x, y, z, seed + 7, 4, 3.0, 0.5);
+    return 0.2 * unburned * strat;
+  });
+}
+
+std::vector<double> s3d_velocity_x(Dims dims, uint64_t seed) {
+  // Shear layer plus turbulence (jet-in-crossflow-like).
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    const double shear = 30.0 * std::tanh((y - 0.5) / 0.15);
+    const double turb = 12.0 * fractal_noise(x, y, z, seed, 6, 6.0, 0.55);
+    return shear + turb;
+  });
+}
+
+std::vector<double> nyx_dark_matter_density(Dims dims, uint64_t seed) {
+  // Log-normal base (exp of a Gaussian-ish fractal field) with dense halos:
+  // the resulting field spans many orders of magnitude, like Nyx's baryon /
+  // dark matter density outputs.
+  const Kernels halos(40, seed + 17, 3.0, 8.0, 0.004, 0.02);
+  return fill_grid(dims, [&, seed](double x, double y, double z) {
+    const double g = fractal_noise(x, y, z, seed, 6, 3.0, 0.65);
+    const double web = std::exp(2.8 * g);  // filamentary cosmic web
+    return web + 50.0 * halos.eval(x, y, z);
+  });
+}
+
+std::vector<double> nyx_velocity_x(Dims dims, uint64_t seed) {
+  // Large-scale coherent flows with small-scale perturbations (km/s scale).
+  return fill_grid(dims, [seed](double x, double y, double z) {
+    const double bulk = 300.0 * fractal_noise(x, y, z, seed, 3, 1.5, 0.6);
+    const double fine = 40.0 * fractal_noise(x, y, z, seed + 13, 4, 12.0, 0.5);
+    return bulk + fine;
+  });
+}
+
+std::vector<double> qmcpack_orbital(Dims dims, int orbital, uint64_t seed) {
+  // A localized orbital: Gaussian envelopes around a few sites modulated by
+  // plane waves whose frequency rises with the orbital index — higher
+  // orbitals oscillate faster, exactly the property that makes the QMCPACK
+  // data progressively harder to compress.
+  const uint64_t s = seed + uint64_t(orbital) * 7919;
+  const Kernels sites(3, s, 0.7, 1.0, 0.10, 0.22);
+  Rng rng(s + 1);
+  const double kx = rng.uniform(2.0, 5.0) + orbital % 5;
+  const double ky = rng.uniform(2.0, 5.0) + (orbital / 5) % 5;
+  const double kz = rng.uniform(2.0, 5.0) + (orbital / 25) % 5;
+  const double phase = rng.uniform(0.0, kTwoPi);
+  return fill_grid(dims, [&](double x, double y, double z) {
+    const double env = sites.eval(x, y, z);
+    const double wave = std::cos(kTwoPi * (kx * x + ky * y + kz * z) + phase);
+    return env * wave;
+  });
+}
+
+std::vector<double> lighthouse_2d(Dims dims, uint64_t seed) {
+  // Natural-image stand-in for the Kodak Lighthouse shot: sky gradient,
+  // a vertical tower with sharp edges, a picket fence (periodic vertical
+  // edges), and grass texture. 2-D (dims.z is expected to be 1).
+  return fill_grid(dims, [seed](double x, double y, double) {
+    const double horizon = 0.55;
+    double v;
+    if (y < horizon) {
+      v = 0.75 - 0.25 * y / horizon;  // sky gradient
+      v += 0.05 * fractal_noise(x, y, 0.0, seed + 5, 3, 4.0, 0.5);  // clouds
+      // lighthouse tower: sharp-edged vertical band with horizontal stripes
+      if (std::fabs(x - 0.62) < 0.035 * (1.0 - 0.4 * y / horizon)) {
+        v = (int(y * 24.0) % 2 == 0) ? 0.9 : 0.15;
+      }
+    } else {
+      const double g = (y - horizon) / (1.0 - horizon);
+      v = 0.35 + 0.20 * fractal_noise(x, y, 0.0, seed, 6, 40.0, 0.6);  // grass
+      // picket fence near the bottom
+      if (g > 0.55 && g < 0.8) {
+        const bool picket = std::fmod(x * 28.0, 1.0) < 0.6;
+        v = picket ? 0.85 : v * 0.6;
+      }
+    }
+    return 255.0 * std::clamp(v, 0.0, 1.0);
+  });
+}
+
+std::vector<double> make_field(const std::string& name, Dims dims, uint64_t seed) {
+  if (name == "miranda_pressure") return miranda_pressure(dims, seed + 1);
+  if (name == "miranda_viscosity") return miranda_viscosity(dims, seed + 2);
+  if (name == "miranda_density") return miranda_density(dims, seed + 3);
+  if (name == "miranda_velocity_x") return miranda_velocity_x(dims, seed + 4);
+  if (name == "s3d_temperature") return s3d_temperature(dims, seed + 5);
+  if (name == "s3d_ch4") return s3d_ch4(dims, seed + 6);
+  if (name == "s3d_velocity_x") return s3d_velocity_x(dims, seed + 7);
+  if (name == "nyx_dark_matter_density") return nyx_dark_matter_density(dims, seed + 8);
+  if (name == "nyx_velocity_x") return nyx_velocity_x(dims, seed + 9);
+  if (name == "qmcpack_orbitals") return qmcpack_orbital(dims, 0, seed + 10);
+  if (name == "lighthouse") return lighthouse_2d(dims, seed + 11);
+  if (name == "kolmogorov") return kolmogorov_turbulence(dims, seed + 12);
+  throw std::invalid_argument("unknown synthetic field: " + name);
+}
+
+const std::vector<std::string>& field_names() {
+  static const std::vector<std::string> names = {
+      "miranda_pressure", "miranda_viscosity",       "miranda_density",
+      "miranda_velocity_x", "s3d_temperature",       "s3d_ch4",
+      "s3d_velocity_x",   "nyx_dark_matter_density", "nyx_velocity_x",
+      "qmcpack_orbitals", "lighthouse",          "kolmogorov",
+  };
+  return names;
+}
+
+}  // namespace sperr::data

@@ -1,0 +1,59 @@
+#pragma once
+
+// Deterministic synthetic stand-ins for the SDRBench data sets the paper
+// evaluates on (§VI-B) and the Kodak Lighthouse image (Fig. 1). Each
+// generator reproduces the statistical character that drives compressor
+// behaviour on the real field:
+//   * Miranda (hydrodynamics): smooth turbulent fields with material
+//     interfaces (Rayleigh-Taylor-like mixing layers);
+//   * S3D (combustion): sharp reaction fronts over smooth backgrounds;
+//   * Nyx (cosmology): log-normal density with orders-of-magnitude dynamic
+//     range and point-like halos;
+//   * QMCPACK: oscillatory, localized orbitals stacked as separate volumes.
+// All generators are seeded and bit-reproducible across platforms (they use
+// the project's own xoshiro/hash primitives, never <random>).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::data {
+
+/// Band-limited fractal (multi-octave) value noise in [-1, 1]-ish range.
+/// Coordinates are in grid units; `base_freq` is the number of lattice cells
+/// across a unit domain at octave 0.
+double fractal_noise(double x, double y, double z, uint64_t seed,
+                     int octaves, double base_freq, double persistence);
+
+// --- Miranda-like hydrodynamics fields -------------------------------------
+std::vector<double> miranda_pressure(Dims dims, uint64_t seed = 1);
+std::vector<double> miranda_viscosity(Dims dims, uint64_t seed = 2);
+std::vector<double> miranda_density(Dims dims, uint64_t seed = 3);
+std::vector<double> miranda_velocity_x(Dims dims, uint64_t seed = 4);
+
+// --- S3D-like combustion fields ---------------------------------------------
+std::vector<double> s3d_temperature(Dims dims, uint64_t seed = 5);
+std::vector<double> s3d_ch4(Dims dims, uint64_t seed = 6);
+std::vector<double> s3d_velocity_x(Dims dims, uint64_t seed = 7);
+
+// --- Nyx-like cosmology fields ----------------------------------------------
+std::vector<double> nyx_dark_matter_density(Dims dims, uint64_t seed = 8);
+std::vector<double> nyx_velocity_x(Dims dims, uint64_t seed = 9);
+
+// --- QMCPACK-like orbitals ---------------------------------------------------
+/// One volume per orbital; `orbital` selects which (changes frequency/site).
+std::vector<double> qmcpack_orbital(Dims dims, int orbital, uint64_t seed = 10);
+
+// --- 2-D natural-image stand-in (Fig. 1) -------------------------------------
+std::vector<double> lighthouse_2d(Dims dims, uint64_t seed = 11);
+
+/// Look up a generator by its benchmark name (e.g. "miranda_pressure",
+/// "nyx_dark_matter_density"). Throws std::invalid_argument on unknown names.
+std::vector<double> make_field(const std::string& name, Dims dims, uint64_t seed = 0);
+
+/// Names accepted by make_field.
+const std::vector<std::string>& field_names();
+
+}  // namespace sperr::data

@@ -1,0 +1,181 @@
+#include "lossless/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitstream.h"
+#include "common/byteio.h"
+#include "lossless/huffman.h"
+#include "lossless/lz77.h"
+
+namespace sperr::lossless {
+
+namespace {
+
+constexpr uint8_t kModeRaw = 0;
+constexpr uint8_t kModeLz = 1;
+
+// Deflate-style length/distance code tables (RFC 1951 §3.2.5).
+constexpr int kNumLenCodes = 29;
+constexpr uint16_t kLenBase[kNumLenCodes] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr uint8_t kLenExtra[kNumLenCodes] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                             1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                             4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+constexpr int kNumDistCodes = 30;
+constexpr uint32_t kDistBase[kNumDistCodes] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr uint8_t kDistExtra[kNumDistCodes] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                               4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                               9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr uint32_t kEob = 256;           // end-of-block symbol
+constexpr size_t kLitAlphabet = 286;     // 0..255 literals, 256 EOB, 257..285 lengths
+
+int length_code(uint32_t len) {
+  for (int i = kNumLenCodes - 1; i >= 0; --i)
+    if (len >= kLenBase[i]) return i;
+  return 0;
+}
+
+int distance_code(uint32_t dist) {
+  for (int i = kNumDistCodes - 1; i >= 0; --i)
+    if (dist >= kDistBase[i]) return i;
+  return 0;
+}
+
+// Code lengths are 0..15 so two fit per byte.
+void pack_lengths(std::vector<uint8_t>& out, const std::vector<uint8_t>& lengths) {
+  for (size_t i = 0; i < lengths.size(); i += 2) {
+    const uint8_t lo = lengths[i];
+    const uint8_t hi = i + 1 < lengths.size() ? lengths[i + 1] : 0;
+    out.push_back(uint8_t(lo | (hi << 4)));
+  }
+}
+
+std::vector<uint8_t> unpack_lengths(ByteReader& br, size_t count) {
+  std::vector<uint8_t> lengths(count, 0);
+  for (size_t i = 0; i < count; i += 2) {
+    const uint8_t b = br.u8();
+    lengths[i] = b & 0x0f;
+    if (i + 1 < count) lengths[i + 1] = b >> 4;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress(const uint8_t* data, size_t size) {
+  const std::vector<Token> tokens = lz77_tokenize(data, size);
+
+  // Token symbol frequencies for both Huffman tables.
+  std::vector<uint64_t> lit_freq(kLitAlphabet, 0);
+  std::vector<uint64_t> dist_freq(kNumDistCodes, 0);
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++lit_freq[t.literal];
+    } else {
+      ++lit_freq[257 + size_t(length_code(t.length))];
+      ++dist_freq[size_t(distance_code(t.distance))];
+    }
+  }
+  ++lit_freq[kEob];
+
+  // 15-bit limit: the header packs code lengths into 4 bits each.
+  const auto lit_lengths = huffman_code_lengths(lit_freq, 15);
+  const auto dist_lengths = huffman_code_lengths(dist_freq, 15);
+  const HuffmanEncoder lit_enc(lit_lengths);
+  const HuffmanEncoder dist_enc(dist_lengths);
+
+  std::vector<uint8_t> out;
+  out.push_back(kModeLz);
+  put_u64(out, size);
+  pack_lengths(out, lit_lengths);
+  pack_lengths(out, dist_lengths);
+
+  BitWriter bw;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      lit_enc.encode(bw, t.literal);
+      continue;
+    }
+    const int lc = length_code(t.length);
+    lit_enc.encode(bw, uint32_t(257 + lc));
+    bw.put_bits(t.length - kLenBase[lc], kLenExtra[lc]);
+    const int dc = distance_code(t.distance);
+    dist_enc.encode(bw, uint32_t(dc));
+    bw.put_bits(t.distance - kDistBase[dc], kDistExtra[dc]);
+  }
+  lit_enc.encode(bw, kEob);
+
+  const auto& payload = bw.bytes();
+  if (out.size() + payload.size() >= size + 9) {
+    // Entropy coding did not pay off; store raw.
+    std::vector<uint8_t> raw;
+    raw.reserve(size + 9);
+    raw.push_back(kModeRaw);
+    put_u64(raw, size);
+    raw.insert(raw.end(), data, data + size);
+    return raw;
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out) {
+  ByteReader hdr(data, size);
+  const uint8_t mode = hdr.u8();
+  const uint64_t raw_size = hdr.u64();
+  if (!hdr.ok()) return Status::corrupt_stream;
+
+  if (mode == kModeRaw) {
+    const uint8_t* p = hdr.raw(raw_size);
+    if (!p) return Status::truncated_stream;
+    out.assign(p, p + raw_size);
+    return Status::ok;
+  }
+  if (mode != kModeLz) return Status::corrupt_stream;
+
+  const auto lit_lengths = unpack_lengths(hdr, kLitAlphabet);
+  const auto dist_lengths = unpack_lengths(hdr, kNumDistCodes);
+  if (!hdr.ok()) return Status::truncated_stream;
+
+  const HuffmanDecoder lit_dec(lit_lengths);
+  const HuffmanDecoder dist_dec(dist_lengths);
+  if (!lit_dec.valid()) return Status::corrupt_stream;
+
+  BitReader br(data + hdr.pos(), size - hdr.pos());
+  out.clear();
+  // raw_size is untrusted: cap the speculative reserve, and bail out if the
+  // token stream tries to grow past the promised size (corrupt stream).
+  out.reserve(size_t(std::min<uint64_t>(raw_size, uint64_t(1) << 24)));
+  while (true) {
+    if (out.size() > raw_size) return Status::corrupt_stream;
+    const int32_t sym = lit_dec.decode(br);
+    if (sym < 0) return Status::truncated_stream;
+    if (sym == int32_t(kEob)) break;
+    if (sym < 256) {
+      out.push_back(uint8_t(sym));
+      continue;
+    }
+    const int lc = sym - 257;
+    if (lc >= kNumLenCodes) return Status::corrupt_stream;
+    const uint32_t len = kLenBase[lc] + uint32_t(br.get_bits(kLenExtra[lc]));
+    const int32_t dc = dist_dec.decode(br);
+    if (dc < 0 || dc >= kNumDistCodes) return Status::corrupt_stream;
+    const uint32_t dist = kDistBase[dc] + uint32_t(br.get_bits(kDistExtra[dc]));
+    if (br.exhausted()) return Status::truncated_stream;
+    if (dist == 0 || dist > out.size()) return Status::corrupt_stream;
+    if (out.size() + len > raw_size) return Status::corrupt_stream;
+    const size_t start = out.size() - dist;
+    for (uint32_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+  }
+  if (out.size() != raw_size) return Status::corrupt_stream;
+  return Status::ok;
+}
+
+}  // namespace sperr::lossless

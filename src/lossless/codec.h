@@ -1,0 +1,33 @@
+#pragma once
+
+// Self-contained lossless byte codec (LZ77 + canonical Huffman, deflate-like
+// token alphabet). This plays the role ZSTD plays in the paper: a final
+// lossless pass over the concatenated SPECK + outlier bitstreams (paper §V)
+// and over the SZ-like baseline's Huffman output (paper §VI-E).
+//
+// The container always decodes to exactly the original bytes; when entropy
+// coding would expand the payload (typical for SPECK's near-random bitplanes)
+// the input is stored raw with one byte of overhead.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr::lossless {
+
+/// Compress `data`; the result always round-trips through decompress().
+std::vector<uint8_t> compress(const uint8_t* data, size_t size);
+
+inline std::vector<uint8_t> compress(const std::vector<uint8_t>& data) {
+  return compress(data.data(), data.size());
+}
+
+/// Decompress a buffer produced by compress().
+Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out);
+
+inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>& out) {
+  return decompress(data.data(), data.size(), out);
+}
+
+}  // namespace sperr::lossless

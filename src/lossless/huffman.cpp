@@ -1,0 +1,164 @@
+#include "lossless/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace sperr::lossless {
+
+namespace {
+
+struct Node {
+  uint64_t weight;
+  int32_t symbol;  // >= 0 for leaves, -1 for internal
+  int32_t left = -1;
+  int32_t right = -1;
+};
+
+// Depth-first walk assigning depths to leaves.
+void assign_depths(const std::vector<Node>& nodes, int32_t idx, unsigned depth,
+                   std::vector<uint8_t>& lengths) {
+  const Node& n = nodes[size_t(idx)];
+  if (n.symbol >= 0) {
+    lengths[size_t(n.symbol)] = uint8_t(depth == 0 ? 1 : depth);
+    return;
+  }
+  assign_depths(nodes, n.left, depth + 1, lengths);
+  assign_depths(nodes, n.right, depth + 1, lengths);
+}
+
+// Enforce the length limit: clamp over-long codes, then restore the Kraft
+// equality by deepening the shallowest candidates (zlib-style fixup).
+void limit_lengths(std::vector<uint8_t>& lengths, unsigned max_len) {
+  bool over = false;
+  for (auto l : lengths)
+    if (l > max_len) { over = true; break; }
+  if (!over) return;
+
+  for (auto& l : lengths)
+    if (l > max_len) l = uint8_t(max_len);
+
+  // Kraft sum in units of 2^-max_len.
+  const uint64_t one = uint64_t(1) << max_len;
+  auto kraft = [&] {
+    uint64_t k = 0;
+    for (auto l : lengths)
+      if (l) k += uint64_t(1) << (max_len - l);
+    return k;
+  };
+
+  uint64_t k = kraft();
+  while (k > one) {
+    // Deepen the longest code shorter than max_len; removes 2^-(l) - 2^-(l+1)
+    // from the sum each step, guaranteed to terminate.
+    unsigned best = 0;
+    size_t best_i = SIZE_MAX;
+    for (size_t i = 0; i < lengths.size(); ++i)
+      if (lengths[i] && lengths[i] < max_len && lengths[i] > best) {
+        best = lengths[i];
+        best_i = i;
+      }
+    if (best_i == SIZE_MAX) break;  // cannot happen for a consistent tree
+    k -= uint64_t(1) << (max_len - lengths[best_i] - 1);
+    ++lengths[best_i];
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> huffman_code_lengths(const std::vector<uint64_t>& freq,
+                                          unsigned max_len) {
+  const size_t n = freq.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  using HeapItem = std::pair<uint64_t, int32_t>;  // (weight, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (freq[i] == 0) continue;
+    nodes.push_back({freq[i], int32_t(i)});
+    heap.emplace(freq[i], int32_t(nodes.size() - 1));
+  }
+  if (heap.empty()) return lengths;
+  if (heap.size() == 1) {
+    lengths[size_t(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    auto [wa, a] = heap.top();
+    heap.pop();
+    auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, -1, a, b});
+    heap.emplace(wa + wb, int32_t(nodes.size() - 1));
+  }
+  assign_depths(nodes, heap.top().second, 0, lengths);
+  limit_lengths(lengths, max_len);
+  return lengths;
+}
+
+std::vector<uint32_t> canonical_codes(const std::vector<uint8_t>& lengths) {
+  const size_t n = lengths.size();
+  std::vector<uint32_t> codes(n, 0);
+
+  uint32_t count[kMaxCodeLen + 2] = {};
+  for (auto l : lengths) ++count[l];
+  count[0] = 0;
+
+  uint32_t next[kMaxCodeLen + 2] = {};
+  uint32_t code = 0;
+  for (unsigned l = 1; l <= kMaxCodeLen; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (size_t i = 0; i < n; ++i)
+    if (lengths[i]) codes[i] = next[lengths[i]]++;
+  return codes;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::vector<uint8_t> lengths)
+    : lengths_(std::move(lengths)), codes_(canonical_codes(lengths_)) {}
+
+HuffmanDecoder::HuffmanDecoder(std::vector<uint8_t> lengths) {
+  for (auto l : lengths) {
+    if (l > kMaxCodeLen) return;  // malformed
+    ++count_[l];
+  }
+  count_[0] = 0;
+
+  // Sort symbols canonically: primary key length, secondary key symbol value.
+  sorted_symbols_.reserve(lengths.size());
+  for (unsigned l = 1; l <= kMaxCodeLen; ++l)
+    for (uint32_t s = 0; s < lengths.size(); ++s)
+      if (lengths[s] == l) sorted_symbols_.push_back(s);
+
+  uint32_t code = 0;
+  uint32_t index = 0;
+  uint64_t kraft = 0;
+  for (unsigned l = 1; l <= kMaxCodeLen; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += count_[l];
+    kraft += uint64_t(count_[l]) << (kMaxCodeLen - l);
+  }
+  // Accept complete codes and the degenerate single-symbol code (kraft = half).
+  valid_ = !sorted_symbols_.empty() && kraft <= (uint64_t(1) << kMaxCodeLen);
+}
+
+int32_t HuffmanDecoder::decode(BitReader& br) const {
+  if (!valid_) return -1;
+  uint32_t code = 0;
+  for (unsigned l = 1; l <= kMaxCodeLen; ++l) {
+    code = (code << 1) | uint32_t(br.get());
+    if (br.exhausted()) return -1;
+    if (count_[l] && code >= first_code_[l] && code - first_code_[l] < count_[l])
+      return int32_t(sorted_symbols_[first_index_[l] + (code - first_code_[l])]);
+  }
+  return -1;
+}
+
+}  // namespace sperr::lossless

@@ -1,0 +1,127 @@
+#include "lossless/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sperr::lossless {
+
+namespace {
+
+constexpr size_t kHashBits = 15;
+constexpr size_t kHashSize = size_t(1) << kHashBits;
+constexpr int kMaxChainLen = 64;
+
+inline uint32_t hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline size_t match_length(const uint8_t* a, const uint8_t* b, size_t max_len) {
+  size_t n = 0;
+  while (n < max_len && a[n] == b[n]) ++n;
+  return n;
+}
+
+struct Matcher {
+  std::vector<int64_t> head = std::vector<int64_t>(kHashSize, -1);
+  std::vector<int64_t> prev;
+  const uint8_t* data;
+  size_t size;
+  size_t inserted = 0;  ///< all positions < inserted are in the hash chains
+
+  Matcher(const uint8_t* d, size_t s) : prev(s, -1), data(d), size(s) {}
+
+  /// Register every position in [inserted, target) in the hash chains.
+  void insert_upto(size_t target) {
+    target = std::min(target, size);
+    for (; inserted < target; ++inserted) {
+      if (inserted + 4 > size) continue;
+      const uint32_t h = hash4(data + inserted);
+      prev[inserted] = head[h];
+      head[h] = int64_t(inserted);
+    }
+  }
+
+  /// Best match at `pos` against strictly earlier positions; length 0 if no
+  /// match of at least kMinMatch exists.
+  Token best_match(size_t pos) const {
+    Token best{};
+    if (pos + kMinMatch > size) return best;
+    const size_t max_len = std::min(kMaxMatch, size - pos);
+    int64_t cand = head[hash4(data + pos)];
+    int chain = kMaxChainLen;
+    while (cand >= 0 && chain-- > 0) {
+      const size_t cpos = size_t(cand);
+      if (cpos >= pos) {  // pos itself may already be inserted; skip it
+        cand = prev[cpos];
+        ++chain;
+        continue;
+      }
+      if (pos - cpos > kWindowSize) break;
+      const size_t len = match_length(data + cpos, data + pos, max_len);
+      if (len >= kMinMatch && len > best.length) {
+        best.length = uint32_t(len);
+        best.distance = uint32_t(pos - cpos);
+        if (len == max_len) break;
+      }
+      cand = prev[cpos];
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size) {
+  std::vector<Token> tokens;
+  if (size == 0) return tokens;
+  tokens.reserve(size / 4);
+
+  Matcher m(data, size);
+  size_t pos = 0;
+  while (pos < size) {
+    Token match = m.best_match(pos);
+    if (match.length >= kMinMatch && pos + 1 < size) {
+      // One-step lazy evaluation: emit a literal instead if the match at
+      // pos + 1 is strictly better (zlib's heuristic, improves dense data).
+      m.insert_upto(pos + 1);
+      const Token next = m.best_match(pos + 1);
+      if (next.length > match.length + 1) {
+        Token lit{};
+        lit.literal = data[pos];
+        tokens.push_back(lit);
+        ++pos;
+        match = next;
+      }
+    }
+    if (match.length >= kMinMatch) {
+      tokens.push_back(match);
+      m.insert_upto(pos + match.length);
+      pos += match.length;
+    } else {
+      Token lit{};
+      lit.literal = data[pos];
+      tokens.push_back(lit);
+      m.insert_upto(pos + 1);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out) {
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+      continue;
+    }
+    if (t.distance == 0 || t.distance > out.size()) return false;
+    const size_t start = out.size() - t.distance;
+    // Byte-by-byte copy: overlapping matches (distance < length) replicate.
+    for (size_t i = 0; i < t.length; ++i) out.push_back(out[start + i]);
+  }
+  return true;
+}
+
+}  // namespace sperr::lossless

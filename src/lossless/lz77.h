@@ -1,0 +1,34 @@
+#pragma once
+
+// Greedy LZ77 match finder with hash chains (zlib-style, 64 KiB window).
+// Produces a token stream (literals + length/distance matches) that the codec
+// entropy-codes with Huffman tables. Separated from the codec so the matcher
+// can be unit-tested on its own.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sperr::lossless {
+
+// 32 KiB matches the reach of the deflate-style distance code table the
+// codec entropy-codes matches with (24577 + 2^13 - 1 = 32768).
+inline constexpr size_t kWindowSize = 1u << 15;
+inline constexpr size_t kMinMatch = 4;
+inline constexpr size_t kMaxMatch = 258;
+
+struct Token {
+  // literal when length == 0 (value in `literal`), match otherwise.
+  uint32_t length = 0;    ///< kMinMatch..kMaxMatch for matches, 0 for literal
+  uint32_t distance = 0;  ///< 1..kWindowSize for matches
+  uint8_t literal = 0;
+};
+
+/// Tokenize `data` with greedy parsing plus one-step-lazy evaluation.
+std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size);
+
+/// Reconstruct the original bytes from a token stream. Returns false if a
+/// token references data before the start of the output (corrupt stream).
+bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out);
+
+}  // namespace sperr::lossless

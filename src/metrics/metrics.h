@@ -1,0 +1,41 @@
+#pragma once
+
+// Compression-quality metrics used throughout the evaluation:
+//   * RMSE / PSNR / max point-wise error (the paper's quality axes),
+//   * accuracy gain (paper §V-B, Eq. 2): gain = log2(sigma / E) - R, a
+//     rate-and-error-combined figure of merit that flattens the 6.02 dB/bit
+//     plateau of SNR plots,
+//   * mean SSIM over 2-D slices (mentioned §VI-C as a domain-specific
+//     alternative).
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace sperr::metrics {
+
+struct Quality {
+  double rmse = 0.0;
+  double psnr = 0.0;     ///< dB, peak = data range of the original
+  double max_pwe = 0.0;  ///< max |orig - recon|
+  double range = 0.0;    ///< original data range
+  double sigma = 0.0;    ///< original standard deviation
+};
+
+/// Compare a reconstruction against the original field.
+Quality compare(const double* orig, const double* recon, size_t n);
+Quality compare(const float* orig, const float* recon, size_t n);
+
+/// Accuracy gain (Eq. 2): log2(sigma / rmse) - bpp. Returns -inf-ish very
+/// negative values when rmse is 0 are avoided by clamping rmse to a tiny
+/// floor (lossless reconstruction => gain is bounded by the bit budget).
+double accuracy_gain(double sigma, double rmse, double bpp);
+
+/// SNR (dB) relative to the signal's own standard deviation.
+double snr_db(double sigma, double rmse);
+
+/// Mean SSIM between two fields, computed per 2-D slice (z-major) with an
+/// 8x8 sliding window (stride 4) and the standard stabilizing constants.
+double mean_ssim(const double* a, const double* b, Dims dims);
+
+}  // namespace sperr::metrics

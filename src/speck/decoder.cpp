@@ -1,0 +1,151 @@
+#include "speck/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitstream.h"
+
+namespace sperr::speck {
+
+namespace {
+
+struct SetEntry {
+  Box box;
+  uint32_t depth;
+};
+
+class Decoder {
+ public:
+  Decoder(BitReader br, Dims dims, const Header& hdr)
+      : br_(br), dims_(dims), hdr_(hdr) {}
+
+  Status run(double* coeffs, DecodeStats* stats) {
+    const size_t n = dims_.total();
+    value_.assign(n, 0.0);
+    neg_.assign(n, 0);
+
+    if (hdr_.n_max >= 0) {
+      lis_.resize(max_depth(dims_) + 1);
+      Box root;
+      root.nx = uint32_t(dims_.x);
+      root.ny = uint32_t(dims_.y);
+      root.nz = uint32_t(dims_.z);
+      lis_[0].push_back({root, 0});
+
+      for (int32_t p = hdr_.n_max; p >= 0 && !done_; --p) {
+        const double thrd = std::ldexp(1.0, p);
+        sorting_pass(thrd);
+        if (done_) break;
+        refinement_pass(thrd);
+      }
+    }
+
+    for (size_t i = 0; i < n; ++i)
+      coeffs[i] = (neg_[i] ? -value_[i] : value_[i]) * hdr_.q;
+
+    if (stats) {
+      stats->bits_consumed = br_.bits_read();
+      stats->significant_count = lsp_.size() + lnsp_.size();
+      stats->truncated = done_;
+    }
+    return Status::ok;
+  }
+
+ private:
+  [[nodiscard]] bool get(bool& bit) {
+    bit = br_.get();
+    if (br_.exhausted()) {
+      done_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  void sorting_pass(double thrd) {
+    for (size_t d = lis_.size(); d-- > 0;) {
+      auto pending = std::move(lis_[d]);
+      lis_[d].clear();
+      for (auto& e : pending) {
+        process(e, thrd);
+        if (done_) {
+          // Preserve the rest for consistency (decoding ends regardless).
+          return;
+        }
+      }
+    }
+  }
+
+  /// Mirror of the encoder's process(), including the deducible-significance
+  /// case where the last child of a significant parent with all-insignificant
+  /// siblings carries no significance bit. Returns set significance.
+  bool process(SetEntry& e, double thrd, bool known_sig = false) {
+    bool sig = true;
+    if (!known_sig && !get(sig)) return false;
+    if (!sig) {
+      lis_[e.depth].push_back(e);
+      return false;
+    }
+    if (e.box.is_single()) {
+      bool negative;
+      if (!get(negative)) return true;
+      const uint64_t idx = dims_.index(e.box.x, e.box.y, e.box.z);
+      neg_[idx] = negative;
+      value_[idx] = 1.5 * thrd;  // center of (thrd, 2*thrd]
+      lnsp_.push_back(idx);
+      return true;
+    }
+    Box children[8];
+    const int nc = split_box(e.box, children);
+    bool any_sig = false;
+    for (int i = 0; i < nc && !done_; ++i) {
+      SetEntry child{children[i], e.depth + 1};
+      const bool deducible = (i == nc - 1) && !any_sig;
+      any_sig |= process(child, thrd, deducible);
+    }
+    return true;
+  }
+
+  void refinement_pass(double thrd) {
+    for (uint64_t idx : lsp_) {
+      bool bit;
+      if (!get(bit)) return;
+      value_[idx] += bit ? thrd / 2.0 : -thrd / 2.0;
+    }
+    lsp_.insert(lsp_.end(), lnsp_.begin(), lnsp_.end());
+    lnsp_.clear();
+  }
+
+  BitReader br_;
+  Dims dims_;
+  Header hdr_;
+  bool done_ = false;
+
+  std::vector<double> value_;
+  std::vector<uint8_t> neg_;
+  std::vector<std::vector<SetEntry>> lis_;
+  std::vector<uint64_t> lsp_;
+  std::vector<uint64_t> lnsp_;
+};
+
+}  // namespace
+
+Status decode(const uint8_t* stream,
+              size_t nbytes,
+              Dims dims,
+              double* coeffs,
+              DecodeStats* stats) {
+  ByteReader hr(stream, nbytes);
+  Header hdr;
+  if (const Status s = hdr.deserialize(hr); s != Status::ok) return s;
+
+  // A payload shorter than the header promises is still decodable: the
+  // stream is embedded, so we clamp to the bits present (prefix decode).
+  const size_t payload_bytes = nbytes - hr.pos();
+  const uint64_t nbits = std::min<uint64_t>(hdr.nbits, payload_bytes * 8);
+
+  BitReader br(stream + hr.pos(), payload_bytes, nbits);
+  Decoder dec(br, dims, hdr);
+  return dec.run(coeffs, stats);
+}
+
+}  // namespace sperr::speck

@@ -1,0 +1,30 @@
+#pragma once
+
+// SPECK decoder: replays the encoder's set traversal with significance bits
+// coming from the stream, reconstructing coefficients at the centers of
+// their refined intervals (mid-riser). Tolerates truncated payloads — any
+// prefix of an embedded stream yields a coarser but valid reconstruction.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "speck/common.h"
+
+namespace sperr::speck {
+
+struct DecodeStats {
+  size_t bits_consumed = 0;
+  size_t significant_count = 0;
+  bool truncated = false;  ///< stream ended before the last plane finished
+};
+
+/// Decode a stream produced by speck::encode into `coeffs` (dims.total()
+/// doubles, fully overwritten; dead-zone coefficients become 0).
+Status decode(const uint8_t* stream,
+              size_t nbytes,
+              Dims dims,
+              double* coeffs,
+              DecodeStats* stats = nullptr);
+
+}  // namespace sperr::speck

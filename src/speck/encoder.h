@@ -1,0 +1,50 @@
+#pragma once
+
+// SPECK encoder (paper §III-B/C). Encodes wavelet coefficients
+// bitplane-by-bitplane with octree (3-D) / quadtree (2-D) set partitioning.
+// Differences from the classic algorithm, following the paper:
+//   * arbitrary quantization step q (coefficients are pre-scaled by 1/q and
+//     integer bitplanes 2^n are coded), giving a dead zone of (-q, q) and a
+//     max quantization error of q/2 for coded coefficients;
+//   * the whole (transformed) domain is the root set;
+//   * the output is embedded: any prefix decodes, enabling the size-bounded
+//     mode by simply stopping at a bit budget.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "speck/common.h"
+
+namespace sperr::speck {
+
+struct EncodeStats {
+  size_t payload_bits = 0;     ///< bits in the SPECK payload (excl. header)
+  size_t planes_coded = 0;     ///< bitplanes fully or partially emitted
+  size_t significant_count = 0;  ///< coefficients outside the dead zone
+
+  /// RMSE of the quantized coefficients vs the input coefficients, computed
+  /// from encoder state alone. Because the CDF 9/7 basis is near-orthogonal
+  /// and ~unit-norm, this estimates the *reconstruction* RMSE without any
+  /// inverse transform (paper §III-A and the §VII average-error extension).
+  double estimated_coeff_rmse = 0.0;
+};
+
+/// Encode `coeffs` (dims.total() values) with finest step q (> 0).
+/// `budget_bits` == 0 means "all bitplanes down to q" (quality-driven / PWE
+/// mode); otherwise the stream is truncated at the first operation that
+/// reaches the budget (size-bounded mode).
+///
+/// `recon_out`, when non-null, receives the decoder-equivalent coefficient
+/// reconstruction (resized to dims.total()). The encoder maintains it
+/// alongside the emitted bits, so the SPERR pipeline can locate outliers
+/// without decoding its own stream (paper §V-C stage 3 is just an inverse
+/// transform plus a comparison). Only exact in unbudgeted mode.
+std::vector<uint8_t> encode(const double* coeffs,
+                            Dims dims,
+                            double q,
+                            size_t budget_bits = 0,
+                            EncodeStats* stats = nullptr,
+                            std::vector<double>* recon_out = nullptr);
+
+}  // namespace sperr::speck

@@ -1,0 +1,68 @@
+#include "sperr/chunker.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sperr {
+
+namespace {
+
+// Split extent n into segments of `pref` with the remainder folded into the
+// final segment when it would be smaller than half a chunk; this avoids the
+// degenerate slivers (e.g. a 1-voxel-thin chunk) that hurt wavelet quality.
+std::vector<std::pair<size_t, size_t>> segments(size_t n, size_t pref) {
+  std::vector<std::pair<size_t, size_t>> out;  // (offset, length)
+  pref = std::min(std::max<size_t>(pref, 1), n);
+  size_t off = 0;
+  while (n - off > pref) {
+    const size_t rest = n - off - pref;
+    if (rest < pref / 2) {
+      // Absorb the sliver into this final, slightly longer segment.
+      out.emplace_back(off, n - off);
+      return out;
+    }
+    out.emplace_back(off, pref);
+    off += pref;
+  }
+  out.emplace_back(off, n - off);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Chunk> make_chunks(Dims volume, Dims preferred) {
+  const auto xs = segments(volume.x, preferred.x);
+  const auto ys = segments(volume.y, preferred.y);
+  const auto zs = segments(volume.z, preferred.z);
+  std::vector<Chunk> chunks;
+  chunks.reserve(xs.size() * ys.size() * zs.size());
+  for (const auto& [zo, zl] : zs)
+    for (const auto& [yo, yl] : ys)
+      for (const auto& [xo, xl] : xs)
+        chunks.push_back({Dims{xo, yo, zo}, Dims{xl, yl, zl}});
+  return chunks;
+}
+
+void gather_chunk(const double* volume, Dims vol_dims, const Chunk& chunk,
+                  double* out) {
+  const Dims& d = chunk.dims;
+  for (size_t z = 0; z < d.z; ++z)
+    for (size_t y = 0; y < d.y; ++y) {
+      const size_t src =
+          vol_dims.index(chunk.origin.x, chunk.origin.y + y, chunk.origin.z + z);
+      std::memcpy(out + d.index(0, y, z), volume + src, d.x * sizeof(double));
+    }
+}
+
+void scatter_chunk(const double* chunk_data, const Chunk& chunk, double* volume,
+                   Dims vol_dims) {
+  const Dims& d = chunk.dims;
+  for (size_t z = 0; z < d.z; ++z)
+    for (size_t y = 0; y < d.y; ++y) {
+      const size_t dst =
+          vol_dims.index(chunk.origin.x, chunk.origin.y + y, chunk.origin.z + z);
+      std::memcpy(volume + dst, chunk_data + d.index(0, y, z), d.x * sizeof(double));
+    }
+}
+
+}  // namespace sperr

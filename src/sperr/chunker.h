@@ -1,0 +1,30 @@
+#pragma once
+
+// Volume chunking for embarrassingly parallel execution (paper §III-D).
+// A volume is cut into a grid of chunks of (at most) the preferred extents;
+// trailing chunks along each axis absorb the remainder, so neither
+// power-of-two extents nor divisibility is required.
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace sperr {
+
+struct Chunk {
+  Dims origin{0, 0, 0};  ///< offset of this chunk within the volume
+  Dims dims;             ///< extents of this chunk
+};
+
+/// Enumerate the chunk grid in z-major, x-fastest order.
+std::vector<Chunk> make_chunks(Dims volume, Dims preferred);
+
+/// Copy one chunk out of a volume into a contiguous buffer.
+void gather_chunk(const double* volume, Dims vol_dims, const Chunk& chunk,
+                  double* out);
+
+/// Write a contiguous chunk buffer back into its place in the volume.
+void scatter_chunk(const double* chunk_data, const Chunk& chunk,
+                   double* volume, Dims vol_dims);
+
+}  // namespace sperr

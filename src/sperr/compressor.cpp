@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+#include "sperr/chunker.h"
+#include "sperr/header.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+
+#ifdef SPERR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace sperr {
+
+namespace {
+
+std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& cfg,
+                                   uint8_t precision, Stats* stats) {
+  if (dims.total() == 0) throw std::invalid_argument("sperr: empty input");
+  if (cfg.mode == Mode::pwe && !(cfg.tolerance > 0.0))
+    throw std::invalid_argument("sperr: PWE mode requires tolerance > 0");
+  if (cfg.mode == Mode::fixed_rate && !(cfg.bpp > 0.0))
+    throw std::invalid_argument("sperr: fixed-rate mode requires bpp > 0");
+  if (cfg.mode == Mode::target_rmse && !(cfg.rmse > 0.0))
+    throw std::invalid_argument("sperr: target-rmse mode requires rmse > 0");
+  if (cfg.mode == Mode::pwe && !(cfg.q_over_t > 0.0))
+    throw std::invalid_argument("sperr: q_over_t must be > 0");
+  // Non-finite samples would silently poison the transform and quantizer;
+  // reject them up front (the reference SPERR has the same requirement).
+  for (size_t i = 0; i < dims.total(); ++i)
+    if (!std::isfinite(data[i]))
+      throw std::invalid_argument("sperr: input contains NaN or Inf at index " +
+                                  std::to_string(i));
+
+  const auto chunks = make_chunks(dims, cfg.chunk_dims);
+  std::vector<pipeline::ChunkStream> streams(chunks.size());
+
+#ifdef SPERR_HAVE_OPENMP
+  const int nt = cfg.num_threads > 0 ? cfg.num_threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& c = chunks[i];
+    std::vector<double> buf(c.dims.total());
+    gather_chunk(data, dims, c, buf.data());
+    if (cfg.mode == Mode::pwe) {
+      streams[i] = pipeline::encode_pwe(buf.data(), c.dims, cfg.tolerance, cfg.q_over_t);
+    } else if (cfg.mode == Mode::target_rmse) {
+      streams[i] = pipeline::encode_target_rmse(buf.data(), c.dims, cfg.rmse);
+    } else {
+      const auto budget = size_t(std::llround(cfg.bpp * double(c.dims.total())));
+      streams[i] = pipeline::encode_fixed_rate(buf.data(), c.dims, std::max<size_t>(budget, 8));
+    }
+  }
+
+  ContainerHeader hdr;
+  hdr.mode = cfg.mode;
+  hdr.precision = precision;
+  hdr.dims = dims;
+  hdr.chunk_dims = cfg.chunk_dims;
+  hdr.quality = cfg.mode == Mode::pwe ? cfg.tolerance
+                : cfg.mode == Mode::target_rmse ? cfg.rmse
+                                                : cfg.bpp;
+  for (const auto& s : streams)
+    hdr.chunk_lens.emplace_back(s.speck.size(), s.outlier.size());
+
+  std::vector<uint8_t> inner;
+  hdr.serialize(inner);
+  for (const auto& s : streams) {
+    inner.insert(inner.end(), s.speck.begin(), s.speck.end());
+    inner.insert(inner.end(), s.outlier.begin(), s.outlier.end());
+  }
+
+  auto out = wrap_container(std::move(inner), cfg.lossless_pass);
+
+  if (stats) {
+    *stats = Stats{};
+    stats->compressed_bytes = out.size();
+    stats->num_chunks = chunks.size();
+    for (const auto& s : streams) {
+      stats->speck_bytes += s.speck.size();
+      stats->outlier_bytes += s.outlier.size();
+      stats->num_outliers += s.num_outliers;
+      stats->timing += s.timing;
+    }
+    stats->bpp = double(out.size()) * 8.0 / double(dims.total());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress(const double* data, Dims dims, const Config& cfg,
+                              Stats* stats) {
+  return compress_impl(data, dims, cfg, 8, stats);
+}
+
+std::vector<uint8_t> compress(const float* data, Dims dims, const Config& cfg,
+                              Stats* stats) {
+  std::vector<double> wide(data, data + dims.total());
+  return compress_impl(wide.data(), dims, cfg, 4, stats);
+}
+
+double tolerance_from_idx(const double* data, size_t n, int idx) {
+  const FieldStats s = compute_stats(data, n);
+  return std::ldexp(s.range(), -idx);
+}
+
+double tolerance_from_idx(const float* data, size_t n, int idx) {
+  const FieldStats s = compute_stats(data, n);
+  return std::ldexp(s.range(), -idx);
+}
+
+}  // namespace sperr

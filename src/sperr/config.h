@@ -1,0 +1,86 @@
+#pragma once
+
+// User-facing compression configuration and statistics for SPERR.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace sperr {
+
+/// Termination criterion (paper §I): a compressor can bound size or error,
+/// not both at once. target_rmse is the paper's §VII extension: the
+/// near-orthogonal unit-norm wavelet makes the coefficient-domain L2 error
+/// track the reconstruction L2 error, so an average-error target can be
+/// met by choosing the quantization step — no outlier pass needed.
+enum class Mode : uint8_t {
+  pwe = 0,          ///< bound the maximum point-wise error (SPERR's headline mode)
+  fixed_rate = 1,   ///< bound the output size (classic SPECK / ZFP-style)
+  target_rmse = 2,  ///< aim for an average (root-mean-square) error
+};
+
+struct Config {
+  Mode mode = Mode::pwe;
+
+  /// PWE tolerance t > 0 (mode == pwe). Every reconstructed value is within
+  /// t of the original.
+  double tolerance = 0.0;
+
+  /// Target bitrate in bits per point (mode == fixed_rate). The stream is
+  /// truncated at this budget; no error guarantee.
+  double bpp = 0.0;
+
+  /// Target average error (mode == target_rmse). Achieved RMSE lands at or
+  /// below this (typically within ~2x); no point-wise guarantee.
+  double rmse = 0.0;
+
+  /// Quantization step for coefficient coding, in units of the tolerance
+  /// (q = q_over_t * t). The paper's sweep (§IV-D, Fig. 3) finds the sweet
+  /// spot in [1.4, 1.8] and ships 1.5.
+  double q_over_t = 1.5;
+
+  /// Chunk extents for parallel execution (paper §III-D; default 256^3).
+  /// Chunks need not divide the volume evenly nor be powers of two.
+  Dims chunk_dims{256, 256, 256};
+
+  /// OpenMP threads for chunk-parallel execution; 0 = runtime default.
+  int num_threads = 0;
+
+  /// Apply the final lossless pass (paper §V uses ZSTD; we use the built-in
+  /// LZ77+Huffman codec). Disable to inspect raw coder output.
+  bool lossless_pass = true;
+};
+
+/// Wall-clock seconds per pipeline stage (paper Fig. 6), summed over chunks
+/// (i.e. total work, not elapsed time, when running multi-threaded).
+struct StageTiming {
+  double transform_s = 0.0;  ///< forward wavelet transform
+  double speck_s = 0.0;      ///< SPECK coefficient coding
+  double locate_s = 0.0;     ///< inverse transform + comparison to find outliers
+  double outlier_s = 0.0;    ///< outlier coding
+
+  [[nodiscard]] double total() const {
+    return transform_s + speck_s + locate_s + outlier_s;
+  }
+
+  StageTiming& operator+=(const StageTiming& o) {
+    transform_s += o.transform_s;
+    speck_s += o.speck_s;
+    locate_s += o.locate_s;
+    outlier_s += o.outlier_s;
+    return *this;
+  }
+};
+
+struct Stats {
+  size_t compressed_bytes = 0;  ///< final container size
+  size_t speck_bytes = 0;       ///< coefficient-coding bytes before the lossless pass
+  size_t outlier_bytes = 0;     ///< outlier-coding bytes before the lossless pass
+  size_t num_outliers = 0;
+  size_t num_chunks = 0;
+  double bpp = 0.0;  ///< achieved bits per point (final container)
+  StageTiming timing;
+};
+
+}  // namespace sperr

@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "common/byteio.h"
+#include "sperr/chunker.h"
+#include "sperr/header.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+
+#ifdef SPERR_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace sperr {
+
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims) try {
+  std::vector<uint8_t> inner;
+  if (const Status s = unwrap_container(stream, nbytes, inner); s != Status::ok)
+    return s;
+
+  ByteReader br(inner.data(), inner.size());
+  ContainerHeader hdr;
+  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
+
+  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
+  if (chunks.size() != hdr.chunk_lens.size()) return Status::corrupt_stream;
+
+  // Slice the payload into per-chunk streams up front so chunks can decode
+  // in parallel.
+  struct Slice {
+    const uint8_t* speck;
+    size_t speck_len;
+    const uint8_t* outlier;
+    size_t outlier_len;
+  };
+  std::vector<Slice> slices(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const auto [sl, ol] = hdr.chunk_lens[i];
+    const uint8_t* sp = br.raw(sl);
+    const uint8_t* op = br.raw(ol);
+    if ((sl && !sp) || (ol && !op)) return Status::truncated_stream;
+    slices[i] = {sp, sl, op, ol};
+  }
+
+  dims = hdr.dims;
+  out.assign(dims.total(), 0.0);
+  Status status = Status::ok;
+
+#ifdef SPERR_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& c = chunks[i];
+    std::vector<double> buf(c.dims.total());
+    const Slice& s = slices[i];
+    const std::vector<uint8_t> speck(s.speck, s.speck + s.speck_len);
+    const std::vector<uint8_t> outl(s.outlier, s.outlier + s.outlier_len);
+    const Status cs = pipeline::decode(speck, outl, c.dims, buf.data());
+    if (cs != Status::ok) {
+#ifdef SPERR_HAVE_OPENMP
+#pragma omp critical
+#endif
+      status = cs;
+      continue;
+    }
+    scatter_chunk(buf.data(), c, out.data(), dims);
+  }
+  return status;
+} catch (const std::bad_alloc&) {
+  // Untrusted headers can request absurd extents; treat OOM as corruption.
+  return Status::corrupt_stream;
+}
+
+Status decompress_lowres(const uint8_t* stream, size_t nbytes, size_t drop_levels,
+                         std::vector<double>& out, Dims& coarse_dims) try {
+  std::vector<uint8_t> inner;
+  if (const Status s = unwrap_container(stream, nbytes, inner); s != Status::ok)
+    return s;
+
+  ByteReader br(inner.data(), inner.size());
+  ContainerHeader hdr;
+  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
+  if (hdr.chunk_lens.size() != 1) return Status::invalid_argument;
+
+  const auto [speck_len, outlier_len] = hdr.chunk_lens[0];
+  const uint8_t* sp = br.raw(speck_len);
+  if (speck_len && !sp) return Status::truncated_stream;
+  const std::vector<uint8_t> speck(sp, sp + speck_len);
+  // Outlier corrections live on the full-resolution grid; they do not apply
+  // to a coarse reconstruction (their energy is within the tolerance anyway).
+  return pipeline::decode_lowres(speck, hdr.dims, drop_levels, out, coarse_dims);
+} catch (const std::bad_alloc&) {
+  return Status::corrupt_stream;
+}
+
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<float>& out,
+                  Dims& dims) {
+  std::vector<double> wide;
+  const Status s = decompress(stream, nbytes, wide, dims);
+  if (s != Status::ok) return s;
+  out.resize(wide.size());
+  std::transform(wide.begin(), wide.end(), out.begin(),
+                 [](double v) { return float(v); });
+  return s;
+}
+
+}  // namespace sperr

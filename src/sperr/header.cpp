@@ -1,0 +1,86 @@
+#include "sperr/header.h"
+
+#include "common/byteio.h"
+#include "lossless/codec.h"
+
+namespace sperr {
+
+void ContainerHeader::serialize(std::vector<uint8_t>& out) const {
+  put_u32(out, kInnerMagic);
+  put_u8(out, uint8_t(mode));
+  put_u8(out, precision);
+  put_u64(out, dims.x);
+  put_u64(out, dims.y);
+  put_u64(out, dims.z);
+  put_u64(out, chunk_dims.x);
+  put_u64(out, chunk_dims.y);
+  put_u64(out, chunk_dims.z);
+  put_f64(out, quality);
+  put_u32(out, uint32_t(chunk_lens.size()));
+  for (const auto& [sl, ol] : chunk_lens) {
+    put_u64(out, sl);
+    put_u64(out, ol);
+  }
+}
+
+Status ContainerHeader::deserialize(ByteReader& br) {
+  if (br.u32() != kInnerMagic) return Status::corrupt_stream;
+  const uint8_t m = br.u8();
+  if (m > uint8_t(Mode::target_rmse)) return Status::corrupt_stream;
+  mode = Mode(m);
+  precision = br.u8();
+  if (precision != 4 && precision != 8) return Status::corrupt_stream;
+  dims.x = br.u64();
+  dims.y = br.u64();
+  dims.z = br.u64();
+  chunk_dims.x = br.u64();
+  chunk_dims.y = br.u64();
+  chunk_dims.z = br.u64();
+  quality = br.f64();
+  const uint32_t n = br.u32();
+  if (!br.ok()) return Status::truncated_stream;
+  if (!plausible_dims(dims)) return Status::corrupt_stream;
+  // Each chunk entry occupies 16 header bytes; an n beyond that is garbage.
+  if (n > br.remaining() / 16) return Status::truncated_stream;
+  chunk_lens.clear();
+  chunk_lens.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t sl = br.u64();
+    const uint64_t ol = br.u64();
+    if (!br.ok()) return Status::truncated_stream;
+    chunk_lens.emplace_back(sl, ol);
+  }
+  if (dims.total() == 0) return Status::corrupt_stream;
+  return Status::ok;
+}
+
+std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless) {
+  std::vector<uint8_t> payload =
+      lossless ? lossless::compress(inner) : std::move(inner);
+
+  std::vector<uint8_t> out;
+  out.reserve(payload.size() + 14);
+  put_u32(out, ContainerHeader::kOuterMagic);
+  put_u8(out, ContainerHeader::kVersion);
+  put_u8(out, lossless ? 1 : 0);
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner) {
+  ByteReader br(data, size);
+  if (br.u32() != ContainerHeader::kOuterMagic) return Status::corrupt_stream;
+  if (br.u8() != ContainerHeader::kVersion) return Status::corrupt_stream;
+  const uint8_t lossless_flag = br.u8();
+  const uint64_t len = br.u64();
+  if (!br.ok()) return Status::truncated_stream;
+  const uint8_t* payload = br.raw(len);
+  if (!payload) return Status::truncated_stream;
+
+  if (lossless_flag) return lossless::decompress(payload, len, inner);
+  inner.assign(payload, payload + len);
+  return Status::ok;
+}
+
+}  // namespace sperr

@@ -1,0 +1,47 @@
+#pragma once
+
+// SPERR container format.
+//
+// Outer wrapper (never entropy-coded, so the decoder can bootstrap):
+//   u32 magic 'SPRZ' | u8 version | u8 lossless? | u64 inner_len | inner...
+// where `inner` is the container below, optionally passed through the
+// built-in lossless codec (the paper's final ZSTD pass, §V).
+//
+// Inner container:
+//   u32 magic 'SPRC' | u8 mode | u8 precision(4|8) | dims 3xu64 |
+//   chunk dims 3xu64 | f64 quality (tolerance or bpp) | u32 nchunks |
+//   per chunk { u64 speck_len, u64 outlier_len } | concatenated streams.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byteio.h"
+#include "common/types.h"
+#include "sperr/config.h"
+
+namespace sperr {
+
+struct ContainerHeader {
+  static constexpr uint32_t kOuterMagic = 0x5a525053;  // "SPRZ"
+  static constexpr uint32_t kInnerMagic = 0x43525053;  // "SPRC"
+  static constexpr uint8_t kVersion = 1;
+
+  Mode mode = Mode::pwe;
+  uint8_t precision = 8;  ///< bytes per sample of the original input (4 or 8)
+  Dims dims;
+  Dims chunk_dims;
+  double quality = 0.0;  ///< tolerance (pwe) or target bpp (fixed_rate)
+  std::vector<std::pair<uint64_t, uint64_t>> chunk_lens;  ///< (speck, outlier)
+
+  void serialize(std::vector<uint8_t>& out) const;
+  [[nodiscard]] Status deserialize(ByteReader& br);
+};
+
+/// Wrap the inner container: apply the lossless pass (if enabled) and
+/// prepend the outer header.
+std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless);
+
+/// Undo wrap_container; `inner` receives the decoded container bytes.
+Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner);
+
+}  // namespace sperr

@@ -1,0 +1,194 @@
+#include "sperr/outofcore.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/byteio.h"
+#include "sperr/chunker.h"
+#include "sperr/header.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+
+namespace sperr::outofcore {
+
+namespace {
+
+/// Read one chunk from a raw field file into `out` (doubles), row by row.
+bool read_chunk(std::ifstream& in, Dims vol, int precision, const Chunk& c,
+                std::vector<double>& out) {
+  out.resize(c.dims.total());
+  const size_t row_elems = c.dims.x;
+  std::vector<char> row(row_elems * size_t(precision));
+  for (size_t z = 0; z < c.dims.z; ++z)
+    for (size_t y = 0; y < c.dims.y; ++y) {
+      const uint64_t offset =
+          vol.index(c.origin.x, c.origin.y + y, c.origin.z + z) *
+          uint64_t(precision);
+      in.seekg(std::streamoff(offset));
+      if (!in.read(row.data(), std::streamsize(row.size()))) return false;
+      double* dst = out.data() + c.dims.index(0, y, z);
+      if (precision == 4) {
+        const float* p = reinterpret_cast<const float*>(row.data());
+        for (size_t x = 0; x < row_elems; ++x) dst[x] = double(p[x]);
+      } else {
+        const double* p = reinterpret_cast<const double*>(row.data());
+        for (size_t x = 0; x < row_elems; ++x) dst[x] = p[x];
+      }
+    }
+  return true;
+}
+
+/// Write one decoded chunk into a raw field file, row by row.
+bool write_chunk(std::fstream& out, Dims vol, int precision, const Chunk& c,
+                 const std::vector<double>& data) {
+  const size_t row_elems = c.dims.x;
+  std::vector<char> row(row_elems * size_t(precision));
+  for (size_t z = 0; z < c.dims.z; ++z)
+    for (size_t y = 0; y < c.dims.y; ++y) {
+      const double* src = data.data() + c.dims.index(0, y, z);
+      if (precision == 4) {
+        float* p = reinterpret_cast<float*>(row.data());
+        for (size_t x = 0; x < row_elems; ++x) p[x] = float(src[x]);
+      } else {
+        double* p = reinterpret_cast<double*>(row.data());
+        for (size_t x = 0; x < row_elems; ++x) p[x] = src[x];
+      }
+      const uint64_t offset =
+          vol.index(c.origin.x, c.origin.y + y, c.origin.z + z) *
+          uint64_t(precision);
+      out.seekp(std::streamoff(offset));
+      if (!out.write(row.data(), std::streamsize(row.size()))) return false;
+    }
+  return true;
+}
+
+}  // namespace
+
+Status compress_file(const std::string& in_path, Dims dims, int precision,
+                     const Config& cfg, const std::string& out_path,
+                     Stats* stats) {
+  if ((precision != 4 && precision != 8) || dims.total() == 0)
+    return Status::invalid_argument;
+
+  std::ifstream in(in_path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::invalid_argument;
+  const uint64_t file_size = uint64_t(in.tellg());
+  if (file_size != dims.total() * uint64_t(precision))
+    return Status::invalid_argument;
+
+  const auto chunks = make_chunks(dims, cfg.chunk_dims);
+  std::vector<pipeline::ChunkStream> streams(chunks.size());
+
+  // One chunk resident at a time: this loop is deliberately serial over
+  // chunks (the input file is the bottleneck); in-memory compression keeps
+  // the chunk-parallel OpenMP path.
+  std::vector<double> buf;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (!read_chunk(in, dims, precision, chunks[i], buf))
+      return Status::truncated_stream;
+    if (cfg.mode == Mode::pwe) {
+      streams[i] =
+          pipeline::encode_pwe(buf.data(), chunks[i].dims, cfg.tolerance, cfg.q_over_t);
+    } else if (cfg.mode == Mode::target_rmse) {
+      streams[i] = pipeline::encode_target_rmse(buf.data(), chunks[i].dims, cfg.rmse);
+    } else {
+      const auto budget = size_t(cfg.bpp * double(chunks[i].dims.total()));
+      streams[i] = pipeline::encode_fixed_rate(buf.data(), chunks[i].dims,
+                                               std::max<size_t>(budget, 8));
+    }
+  }
+
+  ContainerHeader hdr;
+  hdr.mode = cfg.mode;
+  hdr.precision = uint8_t(precision);
+  hdr.dims = dims;
+  hdr.chunk_dims = cfg.chunk_dims;
+  hdr.quality = cfg.mode == Mode::pwe ? cfg.tolerance
+                : cfg.mode == Mode::target_rmse ? cfg.rmse
+                                                : cfg.bpp;
+  for (const auto& s : streams)
+    hdr.chunk_lens.emplace_back(s.speck.size(), s.outlier.size());
+
+  std::vector<uint8_t> inner;
+  hdr.serialize(inner);
+  for (auto& s : streams) {
+    inner.insert(inner.end(), s.speck.begin(), s.speck.end());
+    inner.insert(inner.end(), s.outlier.begin(), s.outlier.end());
+  }
+  const auto blob = wrap_container(std::move(inner), cfg.lossless_pass);
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(blob.data()),
+                 std::streamsize(blob.size())))
+    return Status::invalid_argument;
+
+  if (stats) {
+    *stats = Stats{};
+    stats->compressed_bytes = blob.size();
+    stats->num_chunks = chunks.size();
+    for (const auto& s : streams) {
+      stats->speck_bytes += s.speck.size();
+      stats->outlier_bytes += s.outlier.size();
+      stats->num_outliers += s.num_outliers;
+      stats->timing += s.timing;
+    }
+    stats->bpp = double(blob.size()) * 8.0 / double(dims.total());
+  }
+  return Status::ok;
+}
+
+Status decompress_file(const std::string& in_path, const std::string& out_path,
+                       int precision) {
+  if (precision != 4 && precision != 8) return Status::invalid_argument;
+
+  std::ifstream in(in_path, std::ios::binary);
+  if (!in) return Status::invalid_argument;
+  const std::vector<uint8_t> blob{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+
+  std::vector<uint8_t> inner;
+  if (const Status s = unwrap_container(blob.data(), blob.size(), inner);
+      s != Status::ok)
+    return s;
+  ByteReader br(inner.data(), inner.size());
+  ContainerHeader hdr;
+  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
+
+  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
+  if (chunks.size() != hdr.chunk_lens.size()) return Status::corrupt_stream;
+
+  // Pre-size the output file, then fill it chunk by chunk.
+  {
+    std::ofstream create(out_path, std::ios::binary);
+    if (!create) return Status::invalid_argument;
+    create.seekp(
+        std::streamoff(hdr.dims.total() * uint64_t(precision) - 1));
+    create.put('\0');
+    if (!create) return Status::invalid_argument;
+  }
+  std::fstream out(out_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+  if (!out) return Status::invalid_argument;
+
+  std::vector<double> buf;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const auto [speck_len, outlier_len] = hdr.chunk_lens[i];
+    const uint8_t* sp = br.raw(speck_len);
+    const uint8_t* op = br.raw(outlier_len);
+    if ((speck_len && !sp) || (outlier_len && !op)) return Status::truncated_stream;
+    const std::vector<uint8_t> speck(sp, sp + speck_len);
+    const std::vector<uint8_t> outl(op, op + outlier_len);
+
+    buf.assign(chunks[i].dims.total(), 0.0);
+    if (const Status s = pipeline::decode(speck, outl, chunks[i].dims, buf.data());
+        s != Status::ok)
+      return s;
+    if (!write_chunk(out, hdr.dims, precision, chunks[i], buf))
+      return Status::invalid_argument;
+  }
+  return Status::ok;
+}
+
+}  // namespace sperr::outofcore

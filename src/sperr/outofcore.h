@@ -1,0 +1,32 @@
+#pragma once
+
+// Out-of-core compression of raw binary fields: the paper's motivating
+// workloads (500 TB climate archives, multi-TB turbulence snapshots) do not
+// fit in memory, but SPERR's chunked design means compression only ever
+// needs one chunk resident at a time. These routines stream chunks straight
+// from / to disk; peak memory is O(chunk + compressed output) for
+// compression and O(chunk + compressed input) for decompression, never
+// O(volume).
+//
+// Raw files are x-fastest arrays of f32 or f64 (the SDRBench layout).
+
+#include <string>
+
+#include "common/types.h"
+#include "sperr/config.h"
+
+namespace sperr::outofcore {
+
+/// Compress the raw field stored at `in_path` (extents `dims`, `precision`
+/// bytes per sample: 4 or 8) into a SPERR container at `out_path`.
+/// Returns invalid_argument when the file size does not match dims.
+Status compress_file(const std::string& in_path, Dims dims, int precision,
+                     const Config& cfg, const std::string& out_path,
+                     Stats* stats = nullptr);
+
+/// Decompress a SPERR container file back to a raw field file, chunk by
+/// chunk. `precision` selects the output sample width (4 or 8).
+Status decompress_file(const std::string& in_path, const std::string& out_path,
+                       int precision);
+
+}  // namespace sperr::outofcore

@@ -1,0 +1,144 @@
+#include "sperr/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "outlier/coder.h"
+#include "speck/decoder.h"
+#include "speck/encoder.h"
+#include "wavelet/dwt.h"
+
+namespace sperr::pipeline {
+
+ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
+                       double q_over_t,
+                       std::vector<outlier::Outlier>* capture_outliers) {
+  ChunkStream result;
+  const size_t n = dims.total();
+  const double q = q_over_t * tolerance;
+
+  // Stage 1: forward wavelet transform.
+  Timer timer;
+  std::vector<double> coeffs(data, data + n);
+  wavelet::forward_dwt(coeffs.data(), dims);
+  result.timing.transform_s = timer.seconds();
+
+  // Stage 2: SPECK-code all bitplanes down to the quantization step q. The
+  // encoder also hands back the decoder-equivalent coefficient
+  // reconstruction so stage 3 need not decode the stream it just built.
+  timer.reset();
+  std::vector<double> recon;
+  result.speck = speck::encode(coeffs.data(), dims, q, 0, nullptr, &recon);
+  result.timing.speck_s = timer.seconds();
+
+  // Stage 3: locate outliers — inverse transform plus a comparison with the
+  // original input (paper §V-C stage 3).
+  timer.reset();
+  wavelet::inverse_dwt(recon.data(), dims);
+  std::vector<outlier::Outlier> outliers;
+  for (size_t i = 0; i < n; ++i) {
+    const double err = data[i] - recon[i];
+    if (std::fabs(err) > tolerance) outliers.push_back({i, err});
+  }
+  result.timing.locate_s = timer.seconds();
+  if (capture_outliers) *capture_outliers = outliers;
+
+  // Stage 4: code the outliers so they can be corrected to within t.
+  timer.reset();
+  outlier::EncodeStats ostats;
+  result.outlier = outlier::encode(std::move(outliers), n, tolerance, &ostats);
+  result.num_outliers = ostats.num_outliers;
+  result.outlier_payload_bits = ostats.payload_bits;
+  result.timing.outlier_s = timer.seconds();
+
+  return result;
+}
+
+ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits) {
+  ChunkStream result;
+  const size_t n = dims.total();
+
+  Timer timer;
+  std::vector<double> coeffs(data, data + n);
+  wavelet::forward_dwt(coeffs.data(), dims);
+  result.timing.transform_s = timer.seconds();
+
+  // Pick q far below the coefficient scale so the bit budget, not the
+  // quantization floor, terminates coding (~50 bitplanes available).
+  double max_mag = 0.0;
+  for (const double c : coeffs) max_mag = std::max(max_mag, std::fabs(c));
+  const double q = max_mag > 0.0 ? std::ldexp(max_mag, -50) : 1.0;
+
+  timer.reset();
+  result.speck = speck::encode(coeffs.data(), dims, q, budget_bits);
+  result.timing.speck_s = timer.seconds();
+  return result;
+}
+
+ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target) {
+  ChunkStream result;
+  const size_t n = dims.total();
+
+  Timer timer;
+  std::vector<double> coeffs(data, data + n);
+  wavelet::forward_dwt(coeffs.data(), dims);
+  result.timing.transform_s = timer.seconds();
+
+  // Unit-norm near-orthogonal basis: coefficient-domain RMSE ~ output RMSE
+  // (paper §III-A / §VII). Mid-riser quantization with step q injects
+  // q/sqrt(12) RMSE per coded coefficient; dead-zone zeros add a little
+  // more, so take a 2x safety margin.
+  const double q = rmse_target * std::sqrt(12.0) * 0.5;
+
+  timer.reset();
+  result.speck = speck::encode(coeffs.data(), dims, q);
+  result.timing.speck_s = timer.seconds();
+  return result;
+}
+
+Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
+                     size_t drop_levels, std::vector<double>& out,
+                     Dims& coarse_dims) {
+  const size_t max_levels = wavelet::plan_levels(dims).max();
+  const size_t keep = std::min(drop_levels, max_levels);
+
+  std::vector<double> full(dims.total());
+  const Status s = speck::decode(speck_stream.data(), speck_stream.size(), dims,
+                                 full.data());
+  if (s != Status::ok) return s;
+  wavelet::inverse_dwt_partial(full.data(), dims, keep);
+
+  // Extract the low-pass box and divide out the per-pass DC gain so the
+  // coarse field sits on the data's own scale.
+  coarse_dims = wavelet::lowpass_box_at(dims, keep);
+  const wavelet::LevelPlan plan = wavelet::plan_levels(dims);
+  const size_t passes = std::min(keep, plan.lx) + std::min(keep, plan.ly) +
+                        std::min(keep, plan.lz);
+  const double scale = 1.0 / std::pow(wavelet::lowpass_dc_gain(), double(passes));
+
+  out.resize(coarse_dims.total());
+  for (size_t z = 0; z < coarse_dims.z; ++z)
+    for (size_t y = 0; y < coarse_dims.y; ++y)
+      for (size_t x = 0; x < coarse_dims.x; ++x)
+        out[coarse_dims.index(x, y, z)] = full[dims.index(x, y, z)] * scale;
+  return Status::ok;
+}
+
+Status decode(const std::vector<uint8_t>& speck_stream,
+              const std::vector<uint8_t>& outlier_stream, Dims dims, double* out) {
+  const Status s = speck::decode(speck_stream.data(), speck_stream.size(), dims, out);
+  if (s != Status::ok) return s;
+  wavelet::inverse_dwt(out, dims);
+
+  if (!outlier_stream.empty()) {
+    std::vector<outlier::Outlier> outliers;
+    const Status so =
+        outlier::decode(outlier_stream.data(), outlier_stream.size(), dims.total(), outliers);
+    if (so != Status::ok) return so;
+    for (const auto& o : outliers) out[o.pos] += o.corr;
+  }
+  return Status::ok;
+}
+
+}  // namespace sperr::pipeline

@@ -1,0 +1,72 @@
+#pragma once
+
+// Public API of the SPERR reproduction: lossy compression of structured
+// 1/2/3-D scientific data with either a maximum point-wise error (PWE)
+// guarantee or a size bound.
+//
+// Quick start:
+//
+//   sperr::Config cfg;
+//   cfg.mode = sperr::Mode::pwe;
+//   cfg.tolerance = 1e-3;                       // every value within 1e-3
+//   auto blob = sperr::compress(field.data(), {256, 256, 256}, cfg);
+//
+//   std::vector<double> recon;
+//   sperr::Dims dims;
+//   sperr::decompress(blob.data(), blob.size(), recon, dims);
+//
+// Large volumes are cut into chunks (cfg.chunk_dims, default 256^3) that are
+// compressed independently in parallel with OpenMP (paper §III-D). The final
+// container is passed through a built-in lossless codec (paper §V).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sperr/config.h"
+
+namespace sperr {
+
+/// Compress a double-precision field of the given extents.
+/// For mode == pwe, cfg.tolerance must be > 0; for fixed_rate, cfg.bpp > 0.
+/// `stats`, when non-null, receives size/outlier/timing instrumentation.
+std::vector<uint8_t> compress(const double* data, Dims dims, const Config& cfg,
+                              Stats* stats = nullptr);
+
+/// Single-precision convenience overload (processed internally in double;
+/// the container records the input precision for round-tripping).
+std::vector<uint8_t> compress(const float* data, Dims dims, const Config& cfg,
+                              Stats* stats = nullptr);
+
+/// Decompress a container produced by compress(). `out` is resized; `dims`
+/// receives the original extents.
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
+                  Dims& dims);
+Status decompress(const uint8_t* stream, size_t nbytes, std::vector<float>& out,
+                  Dims& dims);
+
+/// Multi-resolution decompression (paper §VII): reconstruct the field at a
+/// coarsened resolution by stopping the inverse wavelet recursion
+/// `drop_levels` early — each dropped level roughly halves every
+/// transformed axis. Requires a single-chunk container (per-chunk coarse
+/// grids would not tile a coarse volume); multi-chunk streams return
+/// invalid_argument. drop_levels == 0 yields full resolution (outlier
+/// corrections are not applied — they live on the fine grid and are within
+/// the tolerance by construction).
+Status decompress_lowres(const uint8_t* stream, size_t nbytes, size_t drop_levels,
+                         std::vector<double>& out, Dims& coarse_dims);
+
+/// Truncate a fixed-rate container to a lower bitrate without recompressing
+/// (paper §VII: the SPECK stream is embedded, so any prefix decodes). Only
+/// fixed-rate containers are truncatable — a PWE container's outlier
+/// corrections are not embedded, so cutting one would void its guarantee
+/// (returns invalid_argument). The result is a valid container at
+/// ~new_bpp; requesting a rate above the stored one is a no-op copy.
+Status truncate_fixed_rate(const uint8_t* stream, size_t nbytes, double new_bpp,
+                           std::vector<uint8_t>& out);
+
+/// Table I translation: tolerance t = Range / 2^idx of the given field.
+double tolerance_from_idx(const double* data, size_t n, int idx);
+double tolerance_from_idx(const float* data, size_t n, int idx);
+
+}  // namespace sperr

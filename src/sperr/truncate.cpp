@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/byteio.h"
+#include "speck/common.h"
+#include "sperr/chunker.h"
+#include "sperr/header.h"
+#include "sperr/sperr.h"
+
+namespace sperr {
+
+// Container-level truncation (paper §VII, the embedded property): any prefix
+// of a SPECK stream is a valid, coarser encoding, so a fixed-rate container
+// can be cut down to a lower rate byte-for-byte — no recompression, no
+// access to the original data. Streaming servers use this to serve one
+// archive at many rates.
+Status truncate_fixed_rate(const uint8_t* stream, size_t nbytes, double new_bpp,
+                           std::vector<uint8_t>& out) try {
+  if (!(new_bpp > 0.0)) return Status::invalid_argument;
+
+  std::vector<uint8_t> inner;
+  if (const Status s = unwrap_container(stream, nbytes, inner); s != Status::ok)
+    return s;
+  ByteReader br(inner.data(), inner.size());
+  ContainerHeader hdr;
+  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
+  // Only the fixed-rate mode is safely truncatable: a PWE container's
+  // outlier corrections are not embedded, so cutting it would silently void
+  // the error guarantee.
+  if (hdr.mode != Mode::fixed_rate) return Status::invalid_argument;
+
+  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
+  if (chunks.size() != hdr.chunk_lens.size()) return Status::corrupt_stream;
+
+  ContainerHeader new_hdr = hdr;
+  new_hdr.quality = std::min(new_bpp, hdr.quality);
+  new_hdr.chunk_lens.clear();
+
+  std::vector<std::vector<uint8_t>> new_streams;
+  new_streams.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const auto [speck_len, outlier_len] = hdr.chunk_lens[i];
+    const uint8_t* sp = br.raw(speck_len);
+    (void)br.raw(outlier_len);  // fixed-rate chunks have none; skip anyway
+    if (speck_len && !sp) return Status::truncated_stream;
+
+    // Re-head the SPECK stream with the clipped bit count.
+    ByteReader shr(sp, speck_len);
+    speck::Header shdr;
+    if (const Status s = shdr.deserialize(shr); s != Status::ok) return s;
+    const auto budget =
+        uint64_t(std::llround(new_bpp * double(chunks[i].dims.total())));
+    shdr.nbits = std::min<uint64_t>(shdr.nbits, std::max<uint64_t>(budget, 8));
+    const size_t payload_bytes =
+        std::min<size_t>((shdr.nbits + 7) / 8, speck_len - shr.pos());
+
+    std::vector<uint8_t> cut;
+    shdr.serialize(cut);
+    cut.insert(cut.end(), sp + shr.pos(), sp + shr.pos() + payload_bytes);
+    new_hdr.chunk_lens.emplace_back(cut.size(), 0);
+    new_streams.push_back(std::move(cut));
+  }
+
+  std::vector<uint8_t> new_inner;
+  new_hdr.serialize(new_inner);
+  for (const auto& s : new_streams)
+    new_inner.insert(new_inner.end(), s.begin(), s.end());
+  out = wrap_container(std::move(new_inner), true);
+  return Status::ok;
+} catch (const std::bad_alloc&) {
+  return Status::corrupt_stream;
+}
+
+}  // namespace sperr

@@ -1,0 +1,39 @@
+#pragma once
+
+// CDF 9/7 biorthogonal wavelet, lifting implementation (Daubechies &
+// Sweldens factorization) with whole-point symmetric boundary handling and
+// approximately unit-norm basis scaling, following the QccPack formulation
+// the paper borrows (§III-A). Near-orthogonality + unit norm mean the L2
+// error injected into coefficients during coding is approximately the L2
+// error of the reconstruction — the property SPERR's design leans on.
+//
+// These routines operate on one contiguous line. The analysis output is
+// de-interleaved: approximation (low-pass) coefficients occupy the front
+// (n+1)/2 slots, detail (high-pass) coefficients the back n/2 slots.
+
+#include <cstddef>
+
+namespace sperr::wavelet {
+
+/// Lifting constants of the CDF 9/7 factorization.
+inline constexpr double kAlpha = -1.58613434205992;
+inline constexpr double kBeta = -0.0529801185729;
+inline constexpr double kGamma = 0.8829110755309;
+inline constexpr double kDelta = 0.4435068520439;
+inline constexpr double kZeta = 1.1496043988602;  ///< scaling (approx unit norm)
+
+/// Number of approximation coefficients a length-n line produces.
+constexpr size_t approx_len(size_t n) { return (n + 1) / 2; }
+
+/// One forward transform pass on line x[0..n-1]; output de-interleaved.
+/// `scratch` must hold at least n doubles. n >= 1 (n < 2 is a no-op).
+void cdf97_analysis(double* x, size_t n, double* scratch);
+
+/// Inverse of cdf97_analysis (exact up to floating-point rounding).
+void cdf97_synthesis(double* x, size_t n, double* scratch);
+
+/// Dyadic level policy from the paper: min(6, floor(log2 n) - 2), i.e. no
+/// transform for lines shorter than 8 samples.
+size_t num_levels(size_t n);
+
+}  // namespace sperr::wavelet

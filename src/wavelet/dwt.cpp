@@ -1,0 +1,133 @@
+#include "wavelet/dwt.h"
+
+#include <algorithm>
+
+#include "wavelet/cdf97.h"
+
+namespace sperr::wavelet {
+
+namespace {
+
+// Apply `fn` (analysis or synthesis) along the x axis for every (y, z) line
+// inside box (bx, by, bz) of a grid with full extents `dims`.
+template <class Fn>
+void transform_x(double* data, Dims dims, Dims box, Fn fn) {
+  std::vector<double> scratch(box.x);
+  for (size_t z = 0; z < box.z; ++z)
+    for (size_t y = 0; y < box.y; ++y)
+      fn(data + dims.index(0, y, z), box.x, scratch.data());
+}
+
+template <class Fn>
+void transform_y(double* data, Dims dims, Dims box, Fn fn) {
+  std::vector<double> line(box.y), scratch(box.y);
+  for (size_t z = 0; z < box.z; ++z)
+    for (size_t x = 0; x < box.x; ++x) {
+      for (size_t y = 0; y < box.y; ++y) line[y] = data[dims.index(x, y, z)];
+      fn(line.data(), box.y, scratch.data());
+      for (size_t y = 0; y < box.y; ++y) data[dims.index(x, y, z)] = line[y];
+    }
+}
+
+template <class Fn>
+void transform_z(double* data, Dims dims, Dims box, Fn fn) {
+  std::vector<double> line(box.z), scratch(box.z);
+  for (size_t y = 0; y < box.y; ++y)
+    for (size_t x = 0; x < box.x; ++x) {
+      for (size_t z = 0; z < box.z; ++z) line[z] = data[dims.index(x, y, z)];
+      fn(line.data(), box.z, scratch.data());
+      for (size_t z = 0; z < box.z; ++z) data[dims.index(x, y, z)] = line[z];
+    }
+}
+
+}  // namespace
+
+size_t LevelPlan::max() const {
+  return std::max({lx, ly, lz});
+}
+
+LevelPlan plan_levels(Dims dims) {
+  return {num_levels(dims.x), num_levels(dims.y), num_levels(dims.z)};
+}
+
+std::vector<Dims> lowpass_boxes(Dims dims) {
+  const LevelPlan plan = plan_levels(dims);
+  std::vector<Dims> boxes;
+  Dims cur = dims;
+  for (size_t l = 0; l < plan.max(); ++l) {
+    boxes.push_back(cur);
+    if (l < plan.lx) cur.x = approx_len(cur.x);
+    if (l < plan.ly) cur.y = approx_len(cur.y);
+    if (l < plan.lz) cur.z = approx_len(cur.z);
+  }
+  return boxes;
+}
+
+void forward_dwt(double* data, Dims dims, Kernel kernel) {
+  const LevelPlan plan = plan_levels(dims);
+  const auto boxes = lowpass_boxes(dims);
+  const auto analysis = [kernel](double* x, size_t n, double* scratch) {
+    line_analysis(kernel, x, n, scratch);
+  };
+  for (size_t l = 0; l < boxes.size(); ++l) {
+    const Dims box = boxes[l];
+    if (l < plan.lx) transform_x(data, dims, box, analysis);
+    if (l < plan.ly) transform_y(data, dims, box, analysis);
+    if (l < plan.lz) transform_z(data, dims, box, analysis);
+  }
+}
+
+void inverse_dwt(double* data, Dims dims, Kernel kernel) {
+  if (kernel == Kernel::cdf97) {
+    inverse_dwt_partial(data, dims, 0);
+    return;
+  }
+  const LevelPlan plan = plan_levels(dims);
+  const auto boxes = lowpass_boxes(dims);
+  const auto synthesis = [kernel](double* x, size_t n, double* scratch) {
+    line_synthesis(kernel, x, n, scratch);
+  };
+  for (size_t l = boxes.size(); l-- > 0;) {
+    const Dims box = boxes[l];
+    if (l < plan.lz) transform_z(data, dims, box, synthesis);
+    if (l < plan.ly) transform_y(data, dims, box, synthesis);
+    if (l < plan.lx) transform_x(data, dims, box, synthesis);
+  }
+}
+
+void inverse_dwt_partial(double* data, Dims dims, size_t keep_levels) {
+  const LevelPlan plan = plan_levels(dims);
+  const auto boxes = lowpass_boxes(dims);
+  for (size_t l = boxes.size(); l-- > keep_levels;) {
+    const Dims box = boxes[l];
+    // Synthesis undoes axes in the reverse order of analysis.
+    if (l < plan.lz) transform_z(data, dims, box, cdf97_synthesis);
+    if (l < plan.ly) transform_y(data, dims, box, cdf97_synthesis);
+    if (l < plan.lx) transform_x(data, dims, box, cdf97_synthesis);
+  }
+}
+
+Dims lowpass_box_at(Dims dims, size_t levels) {
+  const LevelPlan plan = plan_levels(dims);
+  Dims cur = dims;
+  const size_t n = std::min(levels, plan.max());
+  for (size_t l = 0; l < n; ++l) {
+    if (l < plan.lx) cur.x = approx_len(cur.x);
+    if (l < plan.ly) cur.y = approx_len(cur.y);
+    if (l < plan.lz) cur.z = approx_len(cur.z);
+  }
+  return cur;
+}
+
+double lowpass_dc_gain() {
+  static const double gain = [] {
+    // One analysis pass on a long constant line; read an interior
+    // approximation coefficient (boundary effects decay within ~4 samples).
+    std::vector<double> line(256, 1.0), scratch(256);
+    cdf97_analysis(line.data(), line.size(), scratch.data());
+    return line[64];
+  }();
+  return gain;
+}
+
+}  // namespace sperr::wavelet

@@ -1,0 +1,33 @@
+#pragma once
+
+// Alternative wavelet kernels for the §III-A ablation: the paper picks the
+// CDF 9/7 "among a large selection of available wavelets" because of its
+// rate-distortion track record on scientific data. To make that design
+// choice measurable, this module provides two classic alternatives behind
+// the same line-transform interface as cdf97:
+//   * Haar (orthonormal, 2-tap): the cheapest possible kernel;
+//   * LeGall/CDF 5/3 (biorthogonal, the JPEG 2000 lossless kernel), scaled
+//     toward unit norm for lossy use.
+// The dwt driver accepts a Kernel so the ablation bench can run the whole
+// SPERR coefficient path with each.
+
+#include <cstddef>
+
+namespace sperr::wavelet {
+
+enum class Kernel {
+  cdf97,  ///< the paper's choice (default everywhere in the library)
+  cdf53,
+  haar,
+};
+
+/// One forward pass on a line; same contract as cdf97_analysis (output
+/// de-interleaved, approximation first).
+void line_analysis(Kernel k, double* x, size_t n, double* scratch);
+
+/// Exact inverse of line_analysis.
+void line_synthesis(Kernel k, double* x, size_t n, double* scratch);
+
+[[nodiscard]] const char* to_string(Kernel k);
+
+}  // namespace sperr::wavelet

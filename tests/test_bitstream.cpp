@@ -1,0 +1,114 @@
+#include "common/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sperr {
+namespace {
+
+TEST(BitWriter, EmptyStream) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  EXPECT_EQ(bw.byte_count(), 0u);
+  EXPECT_TRUE(bw.take().empty());
+}
+
+TEST(BitWriter, SingleBitOccupiesOneByte) {
+  BitWriter bw;
+  bw.put(true);
+  EXPECT_EQ(bw.bit_count(), 1u);
+  EXPECT_EQ(bw.byte_count(), 1u);
+  EXPECT_EQ(bw.bytes()[0], 0x01);
+}
+
+TEST(BitWriter, LsbFirstPacking) {
+  BitWriter bw;
+  // Bits 1,0,1,1 -> binary ...1101 = 0x0d.
+  bw.put(true);
+  bw.put(false);
+  bw.put(true);
+  bw.put(true);
+  EXPECT_EQ(bw.bytes()[0], 0x0d);
+}
+
+TEST(BitWriter, CrossesByteBoundary) {
+  BitWriter bw;
+  for (int i = 0; i < 9; ++i) bw.put(true);
+  EXPECT_EQ(bw.byte_count(), 2u);
+  EXPECT_EQ(bw.bytes()[0], 0xff);
+  EXPECT_EQ(bw.bytes()[1], 0x01);
+}
+
+TEST(BitWriter, PutBitsLittleEndian) {
+  BitWriter bw;
+  bw.put_bits(0b1011, 4);
+  EXPECT_EQ(bw.bytes()[0], 0b1011);
+}
+
+TEST(BitStream, RoundTripRandomBits) {
+  Rng rng(42);
+  std::vector<bool> bits;
+  BitWriter bw;
+  for (int i = 0; i < 10007; ++i) {  // deliberately not a multiple of 8
+    const bool b = rng.next() & 1;
+    bits.push_back(b);
+    bw.put(b);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(br.get(), bits[i]) << "bit " << i;
+  }
+  EXPECT_FALSE(br.exhausted());
+}
+
+TEST(BitReader, ExactBitCountLimitsReads) {
+  BitWriter bw;
+  for (int i = 0; i < 16; ++i) bw.put(true);
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size(), 10);  // only 10 bits are valid
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(br.get());
+    EXPECT_FALSE(br.exhausted());
+  }
+  EXPECT_FALSE(br.get());  // reads as 0 past the limit
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitReader, ExhaustionLatches) {
+  BitReader br(nullptr, 0);
+  EXPECT_FALSE(br.get());
+  EXPECT_TRUE(br.exhausted());
+  EXPECT_FALSE(br.get());
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitReader, GetBitsRoundTrip) {
+  Rng rng(7);
+  std::vector<std::pair<uint64_t, unsigned>> values;
+  BitWriter bw;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned width = 1 + unsigned(rng.below(32));
+    const uint64_t v = rng.next() & ((width == 64 ? 0 : (uint64_t(1) << width)) - 1);
+    values.emplace_back(v, width);
+    bw.put_bits(v, width);
+  }
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  for (const auto& [v, w] : values) EXPECT_EQ(br.get_bits(w), v);
+}
+
+TEST(BitReader, BitsReadAndLeft) {
+  BitWriter bw;
+  bw.put_bits(0xabcd, 16);
+  const auto bytes = bw.take();
+  BitReader br(bytes.data(), bytes.size());
+  EXPECT_EQ(br.bits_left(), 16u);
+  (void)br.get_bits(5);
+  EXPECT_EQ(br.bits_read(), 5u);
+  EXPECT_EQ(br.bits_left(), 11u);
+}
+
+}  // namespace
+}  // namespace sperr

@@ -1,0 +1,92 @@
+#include "lossless/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace sperr::lossless {
+namespace {
+
+void expect_roundtrip(const std::vector<uint8_t>& input) {
+  const auto packed = compress(input);
+  std::vector<uint8_t> out;
+  ASSERT_EQ(decompress(packed, out), Status::ok);
+  EXPECT_EQ(out, input);
+}
+
+TEST(Codec, EmptyInput) {
+  expect_roundtrip({});
+}
+
+TEST(Codec, OneByte) {
+  expect_roundtrip({42});
+}
+
+TEST(Codec, TextCompresses) {
+  std::string text;
+  for (int i = 0; i < 200; ++i)
+    text += "the quick brown fox jumps over the lazy dog. ";
+  const std::vector<uint8_t> input(text.begin(), text.end());
+  const auto packed = compress(input);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  expect_roundtrip(input);
+}
+
+TEST(Codec, IncompressibleDataFallsBackToRawWithBoundedOverhead) {
+  Rng rng(11);
+  std::vector<uint8_t> input(10000);
+  for (auto& b : input) b = uint8_t(rng.next());
+  const auto packed = compress(input);
+  EXPECT_LE(packed.size(), input.size() + 16);
+  expect_roundtrip(input);
+}
+
+TEST(Codec, AllZeros) {
+  std::vector<uint8_t> input(100000, 0);
+  const auto packed = compress(input);
+  EXPECT_LT(packed.size(), 600u);
+  expect_roundtrip(input);
+}
+
+TEST(Codec, StructuredBinaryData) {
+  // Mimics a bitplane stream: mostly-zero with bursts.
+  Rng rng(12);
+  std::vector<uint8_t> input(50000, 0);
+  for (size_t i = 0; i < input.size(); ++i)
+    if (rng.below(20) == 0) input[i] = uint8_t(rng.below(4));
+  expect_roundtrip(input);
+}
+
+TEST(Codec, DecompressRejectsGarbage) {
+  std::vector<uint8_t> garbage = {9, 9, 9, 9};
+  std::vector<uint8_t> out;
+  EXPECT_NE(decompress(garbage, out), Status::ok);
+}
+
+TEST(Codec, DecompressRejectsTruncatedStream) {
+  std::string text = "compressible compressible compressible compressible";
+  const std::vector<uint8_t> input(text.begin(), text.end());
+  auto packed = compress(input);
+  packed.resize(packed.size() / 2);
+  std::vector<uint8_t> out;
+  EXPECT_NE(decompress(packed, out), Status::ok);
+}
+
+TEST(Codec, LargeMixedPayloadRoundTrips) {
+  Rng rng(13);
+  std::vector<uint8_t> input;
+  // Alternate compressible and incompressible sections.
+  for (int sec = 0; sec < 20; ++sec) {
+    if (sec % 2 == 0) {
+      input.insert(input.end(), 5000, uint8_t('A' + sec));
+    } else {
+      for (int i = 0; i < 5000; ++i) input.push_back(uint8_t(rng.next()));
+    }
+  }
+  expect_roundtrip(input);
+}
+
+}  // namespace
+}  // namespace sperr::lossless

@@ -1,0 +1,134 @@
+#include "wavelet/dwt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "wavelet/cdf97.h"
+
+namespace sperr::wavelet {
+namespace {
+
+std::vector<double> random_field(Dims dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> f(dims.total());
+  for (auto& v : f) v = rng.uniform(-100.0, 100.0);
+  return f;
+}
+
+void expect_roundtrip(Dims dims, uint64_t seed, double tol = 1e-7) {
+  const auto orig = random_field(dims, seed);
+  auto work = orig;
+  forward_dwt(work.data(), dims);
+  inverse_dwt(work.data(), dims);
+  double max_err = 0;
+  for (size_t i = 0; i < orig.size(); ++i)
+    max_err = std::max(max_err, std::fabs(work[i] - orig[i]));
+  EXPECT_LT(max_err, tol) << "dims " << dims.to_string();
+}
+
+class DwtRoundTrip : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(DwtRoundTrip, PerfectReconstruction) {
+  const auto [x, y, z] = GetParam();
+  expect_roundtrip(Dims{x, y, z}, 17 + x + 1000 * y + 1000000 * z);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DwtRoundTrip,
+    ::testing::Values(
+        std::make_tuple(64, 1, 1),      // 1-D
+        std::make_tuple(100, 1, 1),     // 1-D non-power-of-two
+        std::make_tuple(32, 32, 1),     // 2-D square
+        std::make_tuple(33, 57, 1),     // 2-D odd extents
+        std::make_tuple(16, 16, 16),    // 3-D cube
+        std::make_tuple(31, 17, 9),     // 3-D awkward
+        std::make_tuple(64, 64, 8),     // thin slab
+        std::make_tuple(8, 8, 64),      // tall column
+        std::make_tuple(5, 5, 5),       // below transform threshold: no-op
+        std::make_tuple(1, 64, 1),      // degenerate y-line
+        std::make_tuple(128, 3, 3)));   // mixed: only x transforms
+
+TEST(Dwt, LowpassBoxSequenceMatchesLevelPlan) {
+  const Dims dims{64, 32, 8};
+  const auto plan = plan_levels(dims);
+  EXPECT_EQ(plan.lx, 4u);
+  EXPECT_EQ(plan.ly, 3u);
+  EXPECT_EQ(plan.lz, 1u);
+  const auto boxes = lowpass_boxes(dims);
+  ASSERT_EQ(boxes.size(), 4u);
+  EXPECT_EQ(boxes[0], (Dims{64, 32, 8}));
+  EXPECT_EQ(boxes[1], (Dims{32, 16, 4}));  // z exhausted after level 0
+  EXPECT_EQ(boxes[2], (Dims{16, 8, 4}));
+  EXPECT_EQ(boxes[3], (Dims{8, 4, 4}));
+}
+
+TEST(Dwt, ConstantVolumeConcentratesInLowpassCorner) {
+  const Dims dims{32, 32, 32};
+  std::vector<double> f(dims.total(), 2.0);
+  forward_dwt(f.data(), dims);
+  // All detail coefficients ~ 0; the approximation corner carries scaled
+  // copies of the constant.
+  const auto boxes = lowpass_boxes(dims);
+  Dims corner = boxes.back();
+  corner.x = approx_len(corner.x);
+  corner.y = approx_len(corner.y);
+  corner.z = approx_len(corner.z);
+  double detail_energy = 0, approx_energy = 0;
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x < dims.x; ++x) {
+        const double v = f[dims.index(x, y, z)];
+        if (x < corner.x && y < corner.y && z < corner.z)
+          approx_energy += v * v;
+        else
+          detail_energy += v * v;
+      }
+  EXPECT_GT(approx_energy, 1.0);
+  EXPECT_NEAR(detail_energy, 0.0, 1e-15);
+}
+
+TEST(Dwt, SmoothFieldCompactsInformation) {
+  // Information compaction (paper §II): for a smooth field, a small
+  // fraction of coefficients must hold nearly all the energy.
+  const Dims dims{64, 64, 1};
+  std::vector<double> f(dims.total());
+  for (size_t y = 0; y < dims.y; ++y)
+    for (size_t x = 0; x < dims.x; ++x)
+      f[dims.index(x, y, 0)] =
+          std::sin(0.1 * double(x)) * std::cos(0.13 * double(y));
+  const double total_energy = [&] {
+    double e = 0;
+    for (double v : f) e += v * v;
+    return e;
+  }();
+
+  forward_dwt(f.data(), dims);
+  std::vector<double> mags;
+  mags.reserve(f.size());
+  for (double v : f) mags.push_back(v * v);
+  std::sort(mags.begin(), mags.end(), std::greater<>());
+  double top_energy = 0;
+  const size_t top = mags.size() / 20;  // top 5%
+  for (size_t i = 0; i < top; ++i) top_energy += mags[i];
+  EXPECT_GT(top_energy / total_energy, 0.95);
+}
+
+TEST(Dwt, EnergyApproximatelyPreserved3d) {
+  const Dims dims{32, 32, 32};
+  auto f = random_field(dims, 77);
+  double e_in = 0;
+  for (double v : f) e_in += v * v;
+  forward_dwt(f.data(), dims);
+  double e_out = 0;
+  for (double v : f) e_out += v * v;
+  EXPECT_NEAR(e_out / e_in, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sperr::wavelet

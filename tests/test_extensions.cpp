@@ -1,0 +1,176 @@
+// Tests for the paper's §VII extension features implemented here:
+// average-error-targeted compression and multi-resolution reconstruction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "sperr/pipeline.h"
+#include "sperr/sperr.h"
+#include "wavelet/dwt.h"
+
+namespace sperr {
+namespace {
+
+double rmse_of(const std::vector<double>& a, const std::vector<double>& b) {
+  double sq = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double e = a[i] - b[i];
+    sq += e * e;
+  }
+  return std::sqrt(sq / double(a.size()));
+}
+
+TEST(TargetRmse, AchievedRmseAtOrBelowTarget) {
+  const Dims dims{64, 64, 32};
+  const auto field = data::miranda_pressure(dims);
+  const FieldStats fs = compute_stats(field.data(), field.size());
+
+  for (const double rel : {1e-2, 1e-4, 1e-6}) {
+    Config cfg;
+    cfg.mode = Mode::target_rmse;
+    cfg.rmse = fs.stddev() * rel;
+    const auto blob = compress(field.data(), dims, cfg);
+    std::vector<double> recon;
+    Dims od;
+    ASSERT_EQ(decompress(blob.data(), blob.size(), recon, od), Status::ok);
+    const double achieved = rmse_of(field, recon);
+    EXPECT_LE(achieved, cfg.rmse) << "relative target " << rel;
+    // Not wastefully below target either (within ~8x).
+    EXPECT_GE(achieved, cfg.rmse / 8.0) << "relative target " << rel;
+  }
+}
+
+TEST(TargetRmse, TighterTargetCostsMoreBits) {
+  const Dims dims{48, 48, 48};
+  const auto field = data::s3d_temperature(dims);
+  size_t prev = 0;
+  for (const double rmse : {10.0, 1.0, 0.1, 0.01}) {
+    Config cfg;
+    cfg.mode = Mode::target_rmse;
+    cfg.rmse = rmse;
+    const auto blob = compress(field.data(), dims, cfg);
+    EXPECT_GT(blob.size(), prev);
+    prev = blob.size();
+  }
+}
+
+TEST(TargetRmse, InvalidTargetThrows) {
+  std::vector<double> f(64, 1.0);
+  Config cfg;
+  cfg.mode = Mode::target_rmse;
+  cfg.rmse = 0.0;
+  EXPECT_THROW((void)compress(f.data(), Dims{4, 4, 4}, cfg), std::invalid_argument);
+}
+
+TEST(LowRes, CoarseDimsFollowLevelPlan) {
+  const Dims dims{64, 64, 64};
+  const auto field = data::miranda_density(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 15);
+  const auto blob = compress(field.data(), dims, cfg);
+
+  std::vector<double> coarse;
+  Dims cd;
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 1, coarse, cd), Status::ok);
+  EXPECT_EQ(cd, (Dims{32, 32, 32}));
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 2, coarse, cd), Status::ok);
+  EXPECT_EQ(cd, (Dims{16, 16, 16}));
+  // Dropping more levels than the plan has clamps at the final corner.
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 99, coarse, cd), Status::ok);
+  EXPECT_EQ(cd, (Dims{4, 4, 4}));
+}
+
+TEST(LowRes, CoarseFieldApproximatesDownsampledData) {
+  const Dims dims{64, 64, 64};
+  // Smooth field: coarse reconstruction should track a subsampled original.
+  const auto field = data::nyx_velocity_x(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 20);
+  const auto blob = compress(field.data(), dims, cfg);
+
+  std::vector<double> coarse;
+  Dims cd;
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 1, coarse, cd), Status::ok);
+  ASSERT_EQ(cd, (Dims{32, 32, 32}));
+
+  // Compare against 2x-decimated original values.
+  double sq = 0, ref_sq = 0;
+  for (size_t z = 0; z < cd.z; ++z)
+    for (size_t y = 0; y < cd.y; ++y)
+      for (size_t x = 0; x < cd.x; ++x) {
+        const double ref = field[dims.index(2 * x, 2 * y, 2 * z)];
+        const double e = coarse[cd.index(x, y, z)] - ref;
+        sq += e * e;
+        ref_sq += ref * ref;
+      }
+  // Within ~20% relative L2 of the decimation (the low-pass filter differs
+  // from pure subsampling, so exact agreement is not expected).
+  EXPECT_LT(std::sqrt(sq / ref_sq), 0.2);
+}
+
+TEST(LowRes, ZeroDropEqualsFullResolutionModuloOutliers) {
+  const Dims dims{48, 48, 16};
+  const auto field = data::s3d_ch4(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 20);
+  const auto blob = compress(field.data(), dims, cfg);
+
+  std::vector<double> lowres;
+  Dims cd;
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 0, lowres, cd), Status::ok);
+  EXPECT_EQ(cd, dims);
+  // Without outlier corrections the error may exceed t, but only by the
+  // outliers' (bounded) overshoot — which is small on this smooth field.
+  const auto q = metrics::compare(field.data(), lowres.data(), field.size());
+  EXPECT_LT(q.rmse, cfg.tolerance);
+}
+
+TEST(LowRes, MultiChunkContainerRejected) {
+  const Dims dims{64, 64, 64};
+  const auto field = data::miranda_density(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 10);
+  cfg.chunk_dims = Dims{32, 32, 32};
+  const auto blob = compress(field.data(), dims, cfg);
+  std::vector<double> coarse;
+  Dims cd;
+  EXPECT_EQ(decompress_lowres(blob.data(), blob.size(), 1, coarse, cd),
+            Status::invalid_argument);
+}
+
+TEST(PartialInverseDwt, KeepAllLevelsIsIdentity) {
+  const Dims dims{32, 32, 8};
+  auto field = data::miranda_viscosity(dims);
+  const auto orig = field;
+  wavelet::forward_dwt(field.data(), dims);
+  const size_t levels = wavelet::plan_levels(dims).max();
+  wavelet::inverse_dwt_partial(field.data(), dims, levels);  // undo nothing
+  // Still in the fully transformed domain: differs from the original.
+  double diff = 0;
+  for (size_t i = 0; i < field.size(); ++i) diff += std::fabs(field[i] - orig[i]);
+  EXPECT_GT(diff, 1.0);
+  wavelet::inverse_dwt_partial(field.data(), dims, 0);  // now undo all
+  for (size_t i = 0; i < field.size(); ++i)
+    ASSERT_NEAR(field[i], orig[i], 1e-8 * (1.0 + std::fabs(orig[i])));
+}
+
+TEST(PartialInverseDwt, DcGainNormalizesConstants) {
+  // A constant field's coarse reconstruction must reproduce the constant.
+  const Dims dims{32, 32, 32};
+  std::vector<double> field(dims.total(), 7.25);
+  Config cfg;
+  cfg.tolerance = 1e-6;
+  const auto blob = compress(field.data(), dims, cfg);
+  std::vector<double> coarse;
+  Dims cd;
+  ASSERT_EQ(decompress_lowres(blob.data(), blob.size(), 2, coarse, cd), Status::ok);
+  for (size_t i = 0; i < coarse.size(); ++i)
+    EXPECT_NEAR(coarse[i], 7.25, 0.02) << "coarse sample " << i;
+}
+
+}  // namespace
+}  // namespace sperr

@@ -1,0 +1,116 @@
+#include "sperr/header.h"
+
+#include <gtest/gtest.h>
+
+#include "common/byteio.h"
+
+namespace sperr {
+namespace {
+
+ContainerHeader sample_header() {
+  ContainerHeader hdr;
+  hdr.mode = Mode::pwe;
+  hdr.precision = 4;
+  hdr.dims = Dims{384, 384, 256};
+  hdr.chunk_dims = Dims{256, 256, 256};
+  hdr.quality = 3.64e-11;
+  hdr.chunk_lens = {{1000, 50}, {2000, 0}, {0, 10}};
+  return hdr;
+}
+
+TEST(ContainerHeader, RoundTrip) {
+  const ContainerHeader hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  ASSERT_EQ(parsed.deserialize(br), Status::ok);
+  EXPECT_EQ(parsed.mode, hdr.mode);
+  EXPECT_EQ(parsed.precision, hdr.precision);
+  EXPECT_EQ(parsed.dims, hdr.dims);
+  EXPECT_EQ(parsed.chunk_dims, hdr.chunk_dims);
+  EXPECT_DOUBLE_EQ(parsed.quality, hdr.quality);
+  EXPECT_EQ(parsed.chunk_lens, hdr.chunk_lens);
+}
+
+TEST(ContainerHeader, RejectsBadMagic) {
+  auto hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  buf[0] ^= 0xff;
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  EXPECT_EQ(parsed.deserialize(br), Status::corrupt_stream);
+}
+
+TEST(ContainerHeader, RejectsBadMode) {
+  auto hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  buf[4] = 99;  // mode byte
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  EXPECT_EQ(parsed.deserialize(br), Status::corrupt_stream);
+}
+
+TEST(ContainerHeader, RejectsBadPrecision) {
+  auto hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  buf[5] = 3;  // precision byte
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  EXPECT_EQ(parsed.deserialize(br), Status::corrupt_stream);
+}
+
+TEST(ContainerHeader, RejectsImplausibleExtents) {
+  auto hdr = sample_header();
+  hdr.dims = Dims{size_t(1) << 40, 1, 1};  // beyond kMaxAxisExtent
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  EXPECT_EQ(parsed.deserialize(br), Status::corrupt_stream);
+}
+
+TEST(ContainerHeader, RejectsTruncation) {
+  auto hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  for (const size_t keep : {0u, 3u, 10u, 40u, 70u}) {
+    ByteReader br(buf.data(), std::min<size_t>(keep, buf.size()));
+    ContainerHeader parsed;
+    EXPECT_NE(parsed.deserialize(br), Status::ok) << "kept " << keep;
+  }
+}
+
+TEST(Wrapper, RoundTripBothModes) {
+  std::vector<uint8_t> payload(5000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = uint8_t(i % 7);
+  for (const bool lossless : {false, true}) {
+    const auto wrapped = wrap_container(payload, lossless);
+    std::vector<uint8_t> inner;
+    ASSERT_EQ(unwrap_container(wrapped.data(), wrapped.size(), inner), Status::ok);
+    EXPECT_EQ(inner, payload);
+  }
+}
+
+TEST(Wrapper, LosslessPassShrinksRedundantPayload) {
+  std::vector<uint8_t> payload(50000, 0xaa);
+  const auto raw = wrap_container(payload, false);
+  const auto packed = wrap_container(payload, true);
+  EXPECT_LT(packed.size(), raw.size() / 10);
+}
+
+TEST(Wrapper, RejectsWrongVersion) {
+  const auto wrapped = wrap_container({1, 2, 3}, false);
+  auto bad = wrapped;
+  bad[4] = 0x7f;  // version byte
+  std::vector<uint8_t> inner;
+  EXPECT_EQ(unwrap_container(bad.data(), bad.size(), inner),
+            Status::corrupt_stream);
+}
+
+}  // namespace
+}  // namespace sperr

@@ -1,0 +1,96 @@
+#include "baselines/mgardlike/compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace sperr::mgardlike {
+namespace {
+
+double max_abs_err(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+class MgardShapes
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(MgardShapes, RoundTripsAndStaysNearTolerance) {
+  const auto [x, y, z] = GetParam();
+  const Dims dims{x, y, z};
+  const auto field = data::make_field("miranda_density", dims, x + 7 * y);
+  const double tol = 1e-3;
+  const auto stream = compress(field.data(), dims, tol);
+  std::vector<double> out;
+  Dims od;
+  ASSERT_EQ(decompress(stream.data(), stream.size(), out, od), Status::ok);
+  EXPECT_EQ(od, dims);
+  // Like the real MGARD, the bound is not hard (errors propagate through
+  // interpolation levels); it must stay within a small multiple on smooth
+  // data — the paper reports outright violations only at tight tolerances.
+  EXPECT_LE(max_abs_err(field, out), 3.0 * tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MgardShapes,
+    ::testing::Values(std::make_tuple(64, 64, 64), std::make_tuple(65, 33, 17),
+                      std::make_tuple(100, 1, 1), std::make_tuple(48, 48, 1),
+                      std::make_tuple(1, 1, 1)));
+
+TEST(MgardLike, TighterToleranceCostsMoreBits) {
+  const Dims dims{48, 48, 48};
+  const auto field = data::s3d_ch4(dims);
+  size_t prev = 0;
+  for (double tol : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    const auto stream = compress(field.data(), dims, tol);
+    EXPECT_GT(stream.size(), prev) << "tol " << tol;
+    prev = stream.size();
+  }
+}
+
+TEST(MgardLike, SmoothFieldCompressesWell) {
+  const Dims dims{64, 64, 64};
+  const auto field = data::miranda_pressure(dims);
+  const auto stream = compress(field.data(), dims, 800.0);  // ~1e-3 of range
+  EXPECT_LT(double(stream.size()) * 8 / double(dims.total()), 8.0);
+}
+
+TEST(MgardLike, TypicalErrorWellUnderTolerance) {
+  // The conservative per-level budget makes typical errors much smaller
+  // than the tolerance (which is why MGARD-style schemes spend more bits
+  // than SPERR at the same bound — paper Fig. 9).
+  const Dims dims{48, 48, 16};
+  const auto field = data::miranda_viscosity(dims);
+  const double tol = 1e-5;
+  const auto stream = compress(field.data(), dims, tol);
+  std::vector<double> out;
+  Dims od;
+  ASSERT_EQ(decompress(stream.data(), stream.size(), out, od), Status::ok);
+  double sq = 0;
+  for (size_t i = 0; i < field.size(); ++i) {
+    const double e = field[i] - out[i];
+    sq += e * e;
+  }
+  EXPECT_LT(std::sqrt(sq / double(field.size())), tol / 3.0);
+}
+
+TEST(MgardLike, InvalidToleranceThrows) {
+  std::vector<double> field(8, 1.0);
+  EXPECT_THROW((void)compress(field.data(), Dims{8, 1, 1}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(MgardLike, GarbageRejected) {
+  std::vector<uint8_t> garbage(64, 0x3c);
+  std::vector<double> out;
+  Dims od;
+  EXPECT_NE(decompress(garbage.data(), garbage.size(), out, od), Status::ok);
+}
+
+}  // namespace
+}  // namespace sperr::mgardlike

@@ -1,0 +1,151 @@
+#include "sperr/outofcore.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/synthetic.h"
+#include "sperr/sperr.h"
+
+namespace sperr::outofcore {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& suffix) {
+    static int counter = 0;
+    path_ = testing::TempDir() + "sperr_ooc_" + std::to_string(counter++) + suffix;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void write_raw(const std::string& path, const std::vector<double>& field,
+               int precision) {
+  std::ofstream out(path, std::ios::binary);
+  if (precision == 4) {
+    std::vector<float> f32(field.begin(), field.end());
+    out.write(reinterpret_cast<const char*>(f32.data()),
+              std::streamsize(f32.size() * 4));
+  } else {
+    out.write(reinterpret_cast<const char*>(field.data()),
+              std::streamsize(field.size() * 8));
+  }
+}
+
+std::vector<double> read_raw(const std::string& path, size_t n, int precision) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<double> out(n);
+  if (precision == 4) {
+    std::vector<float> f32(n);
+    in.read(reinterpret_cast<char*>(f32.data()), std::streamsize(n * 4));
+    out.assign(f32.begin(), f32.end());
+  } else {
+    in.read(reinterpret_cast<char*>(out.data()), std::streamsize(n * 8));
+  }
+  EXPECT_TRUE(bool(in));
+  return out;
+}
+
+TEST(OutOfCore, PweRoundTripMatchesInMemoryPath) {
+  const Dims dims{50, 40, 30};  // non-divisible by the chunk size
+  const auto field = data::miranda_density(dims);
+  TempFile raw(".raw"), packed(".sperr"), restored(".raw");
+  write_raw(raw.path(), field, 8);
+
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 15);
+  cfg.chunk_dims = Dims{32, 32, 32};
+  Stats stats;
+  ASSERT_EQ(compress_file(raw.path(), dims, 8, cfg, packed.path(), &stats),
+            Status::ok);
+  EXPECT_GT(stats.num_chunks, 1u);
+
+  // The streamed container decodes exactly like an in-memory one.
+  std::ifstream in(packed.path(), std::ios::binary);
+  const std::vector<uint8_t> blob{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  std::vector<double> mem_recon;
+  Dims od;
+  ASSERT_EQ(decompress(blob.data(), blob.size(), mem_recon, od), Status::ok);
+
+  ASSERT_EQ(decompress_file(packed.path(), restored.path(), 8), Status::ok);
+  const auto file_recon = read_raw(restored.path(), field.size(), 8);
+  EXPECT_EQ(file_recon, mem_recon);
+
+  // And the PWE guarantee holds end to end.
+  double max_err = 0;
+  for (size_t i = 0; i < field.size(); ++i)
+    max_err = std::max(max_err, std::fabs(field[i] - file_recon[i]));
+  EXPECT_LE(max_err, cfg.tolerance);
+}
+
+TEST(OutOfCore, SinglePrecisionFiles) {
+  const Dims dims{48, 24, 16};
+  const auto field64 = data::nyx_velocity_x(dims);
+  const std::vector<float> field32(field64.begin(), field64.end());
+  std::vector<double> field(field32.begin(), field32.end());
+
+  TempFile raw(".raw"), packed(".sperr"), restored(".raw");
+  write_raw(raw.path(), field, 4);
+
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 12);
+  ASSERT_EQ(compress_file(raw.path(), dims, 4, cfg, packed.path()), Status::ok);
+  ASSERT_EQ(decompress_file(packed.path(), restored.path(), 4), Status::ok);
+
+  const auto recon = read_raw(restored.path(), field.size(), 4);
+  double max_err = 0;
+  for (size_t i = 0; i < field.size(); ++i)
+    max_err = std::max(max_err, std::fabs(field[i] - recon[i]));
+  // f32 output rounding adds at most one float ulp on top of the bound.
+  EXPECT_LE(max_err, cfg.tolerance * (1.0 + 1e-5));
+}
+
+TEST(OutOfCore, FixedRateFiles) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::s3d_temperature(dims);
+  TempFile raw(".raw"), packed(".sperr");
+  write_raw(raw.path(), field, 8);
+
+  Config cfg;
+  cfg.mode = Mode::fixed_rate;
+  cfg.bpp = 2.0;
+  Stats stats;
+  ASSERT_EQ(compress_file(raw.path(), dims, 8, cfg, packed.path(), &stats),
+            Status::ok);
+  EXPECT_LE(stats.bpp, 2.3);
+}
+
+TEST(OutOfCore, SizeMismatchRejected) {
+  const Dims dims{16, 16, 16};
+  const auto field = data::s3d_ch4(dims);
+  TempFile raw(".raw"), packed(".sperr");
+  write_raw(raw.path(), field, 8);
+  Config cfg;
+  cfg.tolerance = 1e-3;
+  // Claiming the wrong extents must be rejected, not mis-read.
+  EXPECT_EQ(compress_file(raw.path(), Dims{16, 16, 17}, 8, cfg, packed.path()),
+            Status::invalid_argument);
+  EXPECT_EQ(compress_file(raw.path(), dims, 4, cfg, packed.path()),
+            Status::invalid_argument);
+}
+
+TEST(OutOfCore, MissingInputRejected) {
+  Config cfg;
+  cfg.tolerance = 1.0;
+  EXPECT_EQ(compress_file("/nonexistent/file.raw", Dims{8, 8, 8}, 8, cfg,
+                          "/tmp/out.sperr"),
+            Status::invalid_argument);
+  EXPECT_EQ(decompress_file("/nonexistent/file.sperr", "/tmp/out.raw", 8),
+            Status::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sperr::outofcore

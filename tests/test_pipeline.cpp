@@ -1,0 +1,134 @@
+// Direct tests of the four-stage pipeline (sperr/pipeline.h) — the layer the
+// figure benches instrument — independent of the container format.
+
+#include "sperr/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "speck/decoder.h"
+#include "speck/encoder.h"
+#include "sperr/sperr.h"
+#include "wavelet/dwt.h"
+
+namespace sperr::pipeline {
+namespace {
+
+TEST(Pipeline, PweEncodeDecodeBoundsEveryPoint) {
+  const Dims dims{40, 40, 20};
+  const auto field = data::miranda_pressure(dims);
+  const double t = tolerance_from_idx(field.data(), field.size(), 18);
+  const auto cs = encode_pwe(field.data(), dims, t, 1.5);
+  std::vector<double> recon(dims.total());
+  ASSERT_EQ(decode(cs.speck, cs.outlier, dims, recon.data()), Status::ok);
+  for (size_t i = 0; i < field.size(); ++i)
+    ASSERT_LE(std::fabs(field[i] - recon[i]), t) << "point " << i;
+}
+
+TEST(Pipeline, CapturedOutliersAreExactlyTheViolators) {
+  const Dims dims{32, 32, 16};
+  const auto field = data::nyx_dark_matter_density(dims);
+  const double t = tolerance_from_idx(field.data(), field.size(), 12);
+
+  std::vector<outlier::Outlier> outliers;
+  const auto cs = encode_pwe(field.data(), dims, t, 2.5, &outliers);
+  EXPECT_EQ(outliers.size(), cs.num_outliers);
+
+  // Reproduce the wavelet-only reconstruction and check the captured list
+  // is exactly the set of points violating t.
+  std::vector<double> coeffs = field;
+  wavelet::forward_dwt(coeffs.data(), dims);
+  std::vector<double> recon;
+  (void)speck::encode(coeffs.data(), dims, 2.5 * t, 0, nullptr, &recon);
+  wavelet::inverse_dwt(recon.data(), dims);
+
+  size_t violators = 0;
+  size_t oi = 0;
+  for (size_t i = 0; i < field.size(); ++i) {
+    const double err = field[i] - recon[i];
+    if (std::fabs(err) > t) {
+      ++violators;
+      ASSERT_LT(oi, outliers.size());
+      EXPECT_EQ(outliers[oi].pos, i);
+      EXPECT_DOUBLE_EQ(outliers[oi].corr, err);
+      ++oi;
+    }
+  }
+  EXPECT_EQ(violators, outliers.size());
+}
+
+TEST(Pipeline, FixedRateRespectsBudget) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::s3d_velocity_x(dims);
+  for (const size_t budget : {1000u, 10000u, 100000u}) {
+    const auto cs = encode_fixed_rate(field.data(), dims, budget);
+    EXPECT_TRUE(cs.outlier.empty());
+    EXPECT_LE(cs.speck.size(), budget / 8 + 64);
+    std::vector<double> recon(dims.total());
+    EXPECT_EQ(decode(cs.speck, cs.outlier, dims, recon.data()), Status::ok);
+  }
+}
+
+TEST(Pipeline, TargetRmseNoOutlierStream) {
+  const Dims dims{32, 32, 8};
+  const auto field = data::miranda_viscosity(dims);
+  const auto cs = encode_target_rmse(field.data(), dims, 1e-5);
+  EXPECT_TRUE(cs.outlier.empty());
+  EXPECT_EQ(cs.num_outliers, 0u);
+  std::vector<double> recon(dims.total());
+  ASSERT_EQ(decode(cs.speck, cs.outlier, dims, recon.data()), Status::ok);
+  double sq = 0;
+  for (size_t i = 0; i < field.size(); ++i) {
+    const double e = field[i] - recon[i];
+    sq += e * e;
+  }
+  EXPECT_LE(std::sqrt(sq / double(field.size())), 1e-5);
+}
+
+TEST(Pipeline, LowresDropZeroIsFullInverse) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::s3d_temperature(dims);
+  const auto cs = encode_pwe(field.data(), dims, 0.5, 1.5);
+  std::vector<double> full(dims.total());
+  ASSERT_EQ(decode(cs.speck, {}, dims, full.data()), Status::ok);
+
+  std::vector<double> lowres;
+  Dims cd;
+  ASSERT_EQ(decode_lowres(cs.speck, dims, 0, lowres, cd), Status::ok);
+  EXPECT_EQ(cd, dims);
+  for (size_t i = 0; i < full.size(); ++i) ASSERT_DOUBLE_EQ(lowres[i], full[i]);
+}
+
+TEST(Pipeline, SpeckEstimatedRmseTracksReality) {
+  // The encoder's coefficient-domain estimate (paper §III-A / §VII) vs the
+  // measured reconstruction RMSE, across three quantization scales.
+  const Dims dims{40, 40, 24};
+  const auto field = data::miranda_density(dims);
+  std::vector<double> coeffs = field;
+  wavelet::forward_dwt(coeffs.data(), dims);
+
+  for (const double q : {1e-2, 1e-4, 1e-6}) {
+    speck::EncodeStats stats;
+    const auto stream = speck::encode(coeffs.data(), dims, q, 0, &stats);
+    std::vector<double> recon(dims.total());
+    ASSERT_EQ(speck::decode(stream.data(), stream.size(), dims, recon.data()),
+              Status::ok);
+    wavelet::inverse_dwt(recon.data(), dims);
+    double sq = 0;
+    for (size_t i = 0; i < field.size(); ++i) {
+      const double e = field[i] - recon[i];
+      sq += e * e;
+    }
+    const double actual = std::sqrt(sq / double(field.size()));
+    ASSERT_GT(actual, 0.0);
+    const double ratio = stats.estimated_coeff_rmse / actual;
+    EXPECT_GT(ratio, 0.5) << "q " << q;
+    EXPECT_LT(ratio, 2.0) << "q " << q;
+  }
+}
+
+}  // namespace
+}  // namespace sperr::pipeline

@@ -1,0 +1,150 @@
+// Adversarial-input robustness: every public decoder must survive random
+// truncation and random byte corruption of valid streams — returning an
+// error status or a sane (full-size, finite) reconstruction, never crashing
+// or over-reading. These are deterministic mini-fuzzers (seeded), so
+// failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/mgardlike/compressor.h"
+#include "baselines/szlike/compressor.h"
+#include "baselines/tthreshlike/compressor.h"
+#include "baselines/zfplike/compressor.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "lossless/codec.h"
+#include "outlier/coder.h"
+#include "sperr/sperr.h"
+
+namespace sperr {
+namespace {
+
+std::vector<uint8_t> make_blob() {
+  const Dims dims{24, 24, 12};
+  const auto field = data::miranda_density(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 15);
+  return compress(field.data(), dims, cfg);
+}
+
+template <class DecodeFn>
+void fuzz_decoder(const std::vector<uint8_t>& valid, uint64_t seed, DecodeFn&& fn) {
+  Rng rng(seed);
+  // Truncations at every scale.
+  for (int i = 0; i < 60; ++i) {
+    auto cut = valid;
+    cut.resize(rng.below(valid.size()));
+    fn(cut);
+  }
+  // Single- and multi-byte corruptions.
+  for (int i = 0; i < 120; ++i) {
+    auto bad = valid;
+    const int flips = 1 + int(rng.below(8));
+    for (int f = 0; f < flips; ++f)
+      bad[rng.below(bad.size())] ^= uint8_t(1 + rng.below(255));
+    fn(bad);
+  }
+  // Pure garbage.
+  for (int i = 0; i < 40; ++i) {
+    std::vector<uint8_t> junk(rng.below(4096));
+    for (auto& b : junk) b = uint8_t(rng.next());
+    fn(junk);
+  }
+}
+
+void expect_sane_field(Status s, const std::vector<double>& out, Dims dims) {
+  if (s != Status::ok) return;  // rejecting is always fine
+  ASSERT_EQ(out.size(), dims.total());
+  // Entropy-coded payloads carry no checksummed content; a flipped payload
+  // bit may decode to *different* values, but never to NaN/Inf and never to
+  // a wrongly-sized field.
+  for (double v : out) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(Robustness, SperrDecompressorSurvivesFuzz) {
+  const auto blob = make_blob();
+  fuzz_decoder(blob, 1001, [](const std::vector<uint8_t>& bytes) {
+    std::vector<double> out;
+    Dims dims;
+    const Status s = decompress(bytes.data(), bytes.size(), out, dims);
+    expect_sane_field(s, out, dims);
+  });
+}
+
+TEST(Robustness, SperrLowresSurvivesFuzz) {
+  const auto blob = make_blob();
+  fuzz_decoder(blob, 1002, [](const std::vector<uint8_t>& bytes) {
+    std::vector<double> out;
+    Dims cd;
+    const Status s = decompress_lowres(bytes.data(), bytes.size(), 1, out, cd);
+    expect_sane_field(s, out, cd);
+  });
+}
+
+TEST(Robustness, LosslessCodecSurvivesFuzz) {
+  std::vector<uint8_t> payload(20000);
+  Rng rng(7);
+  for (size_t i = 0; i < payload.size(); ++i)
+    payload[i] = uint8_t(i % 251) ^ uint8_t(rng.below(4));
+  const auto packed = lossless::compress(payload);
+  fuzz_decoder(packed, 1003, [](const std::vector<uint8_t>& bytes) {
+    std::vector<uint8_t> out;
+    (void)lossless::decompress(bytes.data(), bytes.size(), out);
+  });
+}
+
+TEST(Robustness, OutlierDecoderSurvivesFuzz) {
+  std::vector<outlier::Outlier> outliers;
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i)
+    outliers.push_back({rng.below(100000), rng.uniform(1.1, 50.0)});
+  // Deduplicate positions.
+  std::sort(outliers.begin(), outliers.end(),
+            [](const auto& a, const auto& b) { return a.pos < b.pos; });
+  outliers.erase(std::unique(outliers.begin(), outliers.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.pos == b.pos;
+                             }),
+                 outliers.end());
+  const auto stream = outlier::encode(outliers, 100000, 1.0);
+  fuzz_decoder(stream, 1004, [](const std::vector<uint8_t>& bytes) {
+    std::vector<outlier::Outlier> out;
+    (void)outlier::decode(bytes.data(), bytes.size(), 100000, out);
+    for (const auto& o : out) ASSERT_LT(o.pos, 100000u);
+  });
+}
+
+TEST(Robustness, BaselineDecodersSurviveFuzz) {
+  const Dims dims{20, 20, 10};
+  const auto field = data::s3d_ch4(dims);
+
+  fuzz_decoder(szlike::compress(field.data(), dims, 1e-4), 1005,
+               [](const std::vector<uint8_t>& bytes) {
+                 std::vector<double> out;
+                 Dims od;
+                 (void)szlike::decompress(bytes.data(), bytes.size(), out, od);
+               });
+  fuzz_decoder(zfplike::compress_accuracy(field.data(), dims, 1e-4), 1006,
+               [](const std::vector<uint8_t>& bytes) {
+                 std::vector<double> out;
+                 Dims od;
+                 (void)zfplike::decompress(bytes.data(), bytes.size(), out, od);
+               });
+  fuzz_decoder(mgardlike::compress(field.data(), dims, 1e-4), 1007,
+               [](const std::vector<uint8_t>& bytes) {
+                 std::vector<double> out;
+                 Dims od;
+                 (void)mgardlike::decompress(bytes.data(), bytes.size(), out, od);
+               });
+  fuzz_decoder(tthreshlike::compress(field.data(), dims, 60.0), 1008,
+               [](const std::vector<uint8_t>& bytes) {
+                 std::vector<double> out;
+                 Dims od;
+                 (void)tthreshlike::decompress(bytes.data(), bytes.size(), out, od);
+               });
+}
+
+}  // namespace
+}  // namespace sperr

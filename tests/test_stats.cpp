@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sperr {
+namespace {
+
+TEST(FieldStats, Empty) {
+  FieldStats s;
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.range(), 0.0);
+}
+
+TEST(FieldStats, SingleValue) {
+  FieldStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(FieldStats, KnownMoments) {
+  FieldStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.range(), 7.0);
+}
+
+TEST(FieldStats, WelfordMatchesNaiveOnRandomData) {
+  Rng rng(99);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = rng.uniform(-100.0, 100.0);
+
+  const FieldStats s = compute_stats(v.data(), v.size());
+  double mean = 0;
+  for (double x : v) mean += x;
+  mean /= double(v.size());
+  double var = 0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= double(v.size());
+
+  EXPECT_NEAR(s.mean, mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(FieldStats, StableUnderLargeOffset) {
+  // A naive sum-of-squares implementation loses all precision here.
+  FieldStats s;
+  const double offset = 1e12;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sperr

@@ -1,0 +1,103 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace sperr::data {
+namespace {
+
+TEST(Synthetic, DeterministicAcrossCalls) {
+  const Dims dims{16, 16, 16};
+  const auto a = miranda_pressure(dims, 42);
+  const auto b = miranda_pressure(dims, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synthetic, SeedChangesField) {
+  const Dims dims{16, 16, 16};
+  const auto a = miranda_pressure(dims, 1);
+  const auto b = miranda_pressure(dims, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Synthetic, AllFieldsFiniteAndNonConstant) {
+  const Dims dims{24, 24, 8};
+  for (const auto& name : field_names()) {
+    const Dims d = name == "lighthouse" ? Dims{24, 24, 1} : dims;
+    const auto f = make_field(name, d);
+    ASSERT_EQ(f.size(), d.total()) << name;
+    for (double v : f) ASSERT_TRUE(std::isfinite(v)) << name;
+    const FieldStats s = compute_stats(f.data(), f.size());
+    EXPECT_GT(s.stddev(), 0.0) << name;
+  }
+}
+
+TEST(Synthetic, UnknownFieldThrows) {
+  EXPECT_THROW((void)make_field("no_such_field", Dims{8, 8, 8}),
+               std::invalid_argument);
+}
+
+TEST(Synthetic, NyxDensityHasHighDynamicRange) {
+  // Cosmology densities span orders of magnitude — that is the property the
+  // Nyx stand-in must reproduce.
+  const auto f = nyx_dark_matter_density(Dims{32, 32, 32});
+  const FieldStats s = compute_stats(f.data(), f.size());
+  EXPECT_GT(s.max / std::max(s.min, 1e-10), 100.0);
+  EXPECT_GT(s.min, 0.0);  // densities are positive
+}
+
+TEST(Synthetic, S3dTemperatureHasSharpFronts) {
+  // Combustion fields have localized steep gradients: the max |grad| must
+  // far exceed the median |grad|.
+  const Dims dims{48, 48, 8};
+  const auto f = s3d_temperature(dims);
+  std::vector<double> grads;
+  for (size_t z = 0; z < dims.z; ++z)
+    for (size_t y = 0; y < dims.y; ++y)
+      for (size_t x = 0; x + 1 < dims.x; ++x)
+        grads.push_back(
+            std::fabs(f[dims.index(x + 1, y, z)] - f[dims.index(x, y, z)]));
+  std::sort(grads.begin(), grads.end());
+  const double median = grads[grads.size() / 2];
+  const double max = grads.back();
+  EXPECT_GT(max, 50.0 * std::max(median, 1e-6));
+}
+
+TEST(Synthetic, OrbitalsOscillateFasterWithIndex) {
+  // Higher orbital index => faster oscillation => more sign changes.
+  const Dims dims{48, 8, 8};
+  auto count_sign_changes = [&](const std::vector<double>& f) {
+    int changes = 0;
+    for (size_t i = 1; i < dims.x; ++i)
+      if ((f[i] > 0) != (f[i - 1] > 0)) ++changes;
+    return changes;
+  };
+  const auto lo = qmcpack_orbital(dims, 0);
+  const auto hi = qmcpack_orbital(dims, 60);
+  // Not strictly monotone per-row, but the trend must be visible.
+  EXPECT_GE(count_sign_changes(hi) + 2, count_sign_changes(lo));
+}
+
+TEST(Synthetic, FractalNoiseBounded) {
+  for (int i = 0; i < 1000; ++i) {
+    const double v =
+        fractal_noise(i * 0.013, i * 0.007, i * 0.003, 9, 5, 4.0, 0.5);
+    EXPECT_LE(std::fabs(v), 1.0001);
+  }
+}
+
+TEST(Synthetic, LighthouseHasEdgesAndTexture) {
+  const Dims dims{96, 96, 1};
+  const auto img = lighthouse_2d(dims);
+  const FieldStats s = compute_stats(img.data(), img.size());
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 255.0);
+  EXPECT_GT(s.range(), 100.0);  // strong contrast (tower vs sky)
+}
+
+}  // namespace
+}  // namespace sperr::data

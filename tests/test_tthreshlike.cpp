@@ -1,0 +1,145 @@
+#include "baselines/tthreshlike/compressor.h"
+#include "baselines/tthreshlike/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+
+namespace sperr::tthreshlike {
+namespace {
+
+// --- Jacobi eigensolver -----------------------------------------------------
+
+TEST(Jacobi, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  std::vector<double> evals;
+  Matrix evecs;
+  jacobi_eigh(a, evals, evecs);
+  EXPECT_NEAR(evals[0], 5.0, 1e-12);
+  EXPECT_NEAR(evals[1], 3.0, 1e-12);
+  EXPECT_NEAR(evals[2], 1.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  std::vector<double> evals;
+  Matrix evecs;
+  jacobi_eigh(a, evals, evecs);
+  EXPECT_NEAR(evals[0], 3.0, 1e-12);
+  EXPECT_NEAR(evals[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetricMatrix) {
+  Rng rng(7);
+  const size_t n = 24;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i; j < n; ++j) a(i, j) = a(j, i) = rng.gaussian();
+
+  std::vector<double> evals;
+  Matrix v;
+  jacobi_eigh(a, evals, v);
+
+  // A == V diag(evals) V^T within tolerance.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      double sum = 0;
+      for (size_t k = 0; k < n; ++k) sum += v(i, k) * evals[k] * v(j, k);
+      EXPECT_NEAR(sum, a(i, j), 1e-8);
+    }
+  // Columns orthonormal.
+  for (size_t c1 = 0; c1 < n; ++c1)
+    for (size_t c2 = c1; c2 < n; ++c2) {
+      double dot = 0;
+      for (size_t k = 0; k < n; ++k) dot += v(k, c1) * v(k, c2);
+      EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST(Jacobi, EigenvaluesSortedDescending) {
+  Rng rng(8);
+  const size_t n = 16;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i; j < n; ++j) a(i, j) = a(j, i) = rng.uniform(-1, 1);
+  std::vector<double> evals;
+  Matrix v;
+  jacobi_eigh(a, evals, v);
+  for (size_t i = 1; i < n; ++i) EXPECT_GE(evals[i - 1], evals[i]);
+}
+
+// --- full compressor ----------------------------------------------------------
+
+TEST(TthreshLike, HitsPsnrTargetOnSmoothField) {
+  const Dims dims{48, 48, 48};
+  const auto field = data::miranda_pressure(dims);
+  const double target = 60.0;
+  const auto stream = compress(field.data(), dims, target);
+  std::vector<double> out;
+  Dims od;
+  ASSERT_EQ(decompress(stream.data(), stream.size(), out, od), Status::ok);
+  EXPECT_EQ(od, dims);
+  const auto q = metrics::compare(field.data(), out.data(), field.size());
+  // Must land at or above the requested quality (conservative q choice).
+  EXPECT_GE(q.psnr, target - 1.0);
+}
+
+TEST(TthreshLike, HigherTargetCostsMoreBits) {
+  const Dims dims{32, 32, 32};
+  const auto field = data::s3d_temperature(dims);
+  size_t prev = 0;
+  for (double target : {40.0, 60.0, 80.0, 100.0}) {
+    const auto stream = compress(field.data(), dims, target);
+    EXPECT_GT(stream.size(), prev) << "target " << target;
+    prev = stream.size();
+  }
+}
+
+TEST(TthreshLike, LowRateVisualizationQuality) {
+  // TTHRESH's niche: aggressive compression for visualization. At 50 dB the
+  // data-dependent basis should need only a few bits per point.
+  const Dims dims{64, 64, 64};
+  const auto field = data::miranda_density(dims);
+  const auto stream = compress(field.data(), dims, 50.0);
+  const double bpp = double(stream.size()) * 8 / double(dims.total());
+  EXPECT_LT(bpp, 6.0);
+  std::vector<double> out;
+  Dims od;
+  ASSERT_EQ(decompress(stream.data(), stream.size(), out, od), Status::ok);
+  const auto q = metrics::compare(field.data(), out.data(), field.size());
+  EXPECT_GE(q.psnr, 49.0);
+}
+
+TEST(TthreshLike, ThinSlabAndSliceSupported) {
+  for (Dims dims : {Dims{32, 32, 4}, Dims{48, 32, 1}}) {
+    const auto field = data::make_field("nyx_velocity_x", dims, 3);
+    const auto stream = compress(field.data(), dims, 60.0);
+    std::vector<double> out;
+    Dims od;
+    ASSERT_EQ(decompress(stream.data(), stream.size(), out, od), Status::ok)
+        << dims.to_string();
+    EXPECT_EQ(od, dims);
+  }
+}
+
+TEST(TthreshLike, GarbageRejected) {
+  std::vector<uint8_t> garbage(32, 0x77);
+  std::vector<double> out;
+  Dims od;
+  EXPECT_NE(decompress(garbage.data(), garbage.size(), out, od), Status::ok);
+}
+
+}  // namespace
+}  // namespace sperr::tthreshlike

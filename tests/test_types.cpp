@@ -1,0 +1,58 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace sperr {
+namespace {
+
+TEST(Dims, TotalAndRank) {
+  EXPECT_EQ(Dims(10).total(), 10u);
+  EXPECT_EQ(Dims(10).rank(), 1);
+  EXPECT_EQ(Dims(4, 5).total(), 20u);
+  EXPECT_EQ(Dims(4, 5).rank(), 2);
+  EXPECT_EQ(Dims(2, 3, 4).total(), 24u);
+  EXPECT_EQ(Dims(2, 3, 4).rank(), 3);
+  EXPECT_EQ(Dims(1, 1, 7).rank(), 1);  // rank counts non-degenerate axes
+  EXPECT_EQ(Dims(1).rank(), 0);
+}
+
+TEST(Dims, IndexIsXFastest) {
+  const Dims d{4, 3, 2};
+  EXPECT_EQ(d.index(0, 0, 0), 0u);
+  EXPECT_EQ(d.index(1, 0, 0), 1u);
+  EXPECT_EQ(d.index(0, 1, 0), 4u);
+  EXPECT_EQ(d.index(0, 0, 1), 12u);
+  EXPECT_EQ(d.index(3, 2, 1), 23u);
+}
+
+TEST(Dims, IndexIsBijectiveOverTheGrid) {
+  const Dims d{5, 7, 3};
+  std::vector<bool> seen(d.total(), false);
+  for (size_t z = 0; z < d.z; ++z)
+    for (size_t y = 0; y < d.y; ++y)
+      for (size_t x = 0; x < d.x; ++x) {
+        const size_t i = d.index(x, y, z);
+        ASSERT_LT(i, d.total());
+        ASSERT_FALSE(seen[i]);
+        seen[i] = true;
+      }
+}
+
+TEST(PlausibleDims, AcceptsRealVolumesRejectsGarbage) {
+  EXPECT_TRUE(plausible_dims(Dims{1, 1, 1}));
+  EXPECT_TRUE(plausible_dims(Dims{3072, 3072, 3072}));  // the paper's Miranda
+  EXPECT_FALSE(plausible_dims(Dims{0, 4, 4}));
+  EXPECT_FALSE(plausible_dims(Dims{kMaxAxisExtent + 1, 1, 1}));
+  // Each axis legal but the product overflows the element cap.
+  EXPECT_FALSE(plausible_dims(Dims{kMaxAxisExtent, kMaxAxisExtent, kMaxAxisExtent}));
+}
+
+TEST(Status, ToStringCoversAllValues) {
+  EXPECT_STREQ(to_string(Status::ok), "ok");
+  EXPECT_STREQ(to_string(Status::truncated_stream), "truncated_stream");
+  EXPECT_STREQ(to_string(Status::corrupt_stream), "corrupt_stream");
+  EXPECT_STREQ(to_string(Status::invalid_argument), "invalid_argument");
+}
+
+}  // namespace
+}  // namespace sperr

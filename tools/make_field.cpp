@@ -1,0 +1,67 @@
+// make_field — write one of the synthetic benchmark fields to a raw binary
+// file (x-fastest, little endian), so sperr_cc and external tools have
+// realistic data to chew on without any external data sets.
+//
+//   make_field FIELD NX NY NZ OUT.raw [--type f32|f64] [--seed N]
+//
+// FIELD is any name from sperr::data::field_names().
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: make_field FIELD NX NY NZ OUT.raw [--type f32|f64] "
+                 "[--seed N]\nfields:");
+    for (const auto& n : sperr::data::field_names())
+      std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  const std::string name = argv[1];
+  const sperr::Dims dims{size_t(std::atoll(argv[2])), size_t(std::atoll(argv[3])),
+                         size_t(std::atoll(argv[4]))};
+  const std::string out_path = argv[5];
+  std::string type = "f64";
+  uint64_t seed = 0;
+  for (int i = 6; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--type") == 0) type = argv[i + 1];
+    if (std::strcmp(argv[i], "--seed") == 0) seed = uint64_t(std::atoll(argv[i + 1]));
+  }
+
+  std::vector<double> field;
+  try {
+    field = sperr::data::make_field(name, dims, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (type == "f32") {
+    std::vector<float> f32(field.begin(), field.end());
+    out.write(reinterpret_cast<const char*>(f32.data()),
+              std::streamsize(f32.size() * 4));
+  } else {
+    out.write(reinterpret_cast<const char*>(field.data()),
+              std::streamsize(field.size() * 8));
+  }
+
+  const auto stats = sperr::compute_stats(field.data(), field.size());
+  std::printf("%s %s %s: range [%.6g, %.6g], sigma %.6g -> %s\n", name.c_str(),
+              dims.to_string().c_str(), type.c_str(), stats.min, stats.max,
+              stats.stddev(), out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,265 @@
+// sperr_cc — command-line compressor/decompressor for raw binary fields,
+// mirroring the utilities the reference SPERR distribution ships.
+//
+//   compress:    sperr_cc c  IN.raw OUT.sperr --dims NX [NY [NZ]] --type f32|f64
+//                          ( --pwe T | --idx K | --bpp R | --rmse E )
+//                          [ --q-over-t Q ] [ --chunk CX CY CZ ]
+//                          [ --threads N ] [ --no-lossless ] [ --verify ]
+//   decompress:  sperr_cc d  IN.sperr OUT.raw [--type f32|f64] [--drop L]
+//   inspect:     sperr_cc info IN.sperr
+//
+// Raw files are x-fastest little-endian arrays, the layout SDRBench uses.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "metrics/metrics.h"
+#include "sperr/header.h"
+#include "sperr/sperr.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sperr_cc c IN.raw OUT.sperr --dims NX [NY [NZ]] --type f32|f64\n"
+               "           (--pwe T | --idx K | --bpp R | --rmse E)\n"
+               "           [--q-over-t Q] [--chunk CX CY CZ] [--threads N]\n"
+               "           [--no-lossless] [--verify]\n"
+               "  sperr_cc d IN.sperr OUT.raw [--type f32|f64] [--drop L]\n"
+               "  sperr_cc info IN.sperr\n");
+  std::exit(2);
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const void* data, size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out || !out.write(static_cast<const char*>(data), std::streamsize(size))) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  sperr::Dims dims{0, 1, 1};
+  bool have_dims = false;
+  std::string type = "f64";
+  double pwe = 0, bpp = 0, rmse = 0, q_over_t = 1.5;
+  int idx = -1;
+  sperr::Dims chunk{256, 256, 256};
+  int threads = 0;
+  bool lossless = true;
+  bool verify = false;
+  size_t drop = 0;
+
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&](const char* what) -> const char* {
+        if (++i >= argc) usage(what);
+        return argv[i];
+      };
+      if (a == "--dims") {
+        dims.x = size_t(std::atoll(next("--dims needs values")));
+        have_dims = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') dims.y = size_t(std::atoll(argv[++i]));
+        if (i + 1 < argc && argv[i + 1][0] != '-') dims.z = size_t(std::atoll(argv[++i]));
+      } else if (a == "--type") {
+        type = next("--type needs f32|f64");
+      } else if (a == "--pwe") {
+        pwe = std::atof(next("--pwe needs a tolerance"));
+      } else if (a == "--idx") {
+        idx = std::atoi(next("--idx needs an integer"));
+      } else if (a == "--bpp") {
+        bpp = std::atof(next("--bpp needs a rate"));
+      } else if (a == "--rmse") {
+        rmse = std::atof(next("--rmse needs a target"));
+      } else if (a == "--q-over-t") {
+        q_over_t = std::atof(next("--q-over-t needs a value"));
+      } else if (a == "--chunk") {
+        chunk.x = size_t(std::atoll(next("--chunk needs values")));
+        if (i + 1 < argc && argv[i + 1][0] != '-') chunk.y = size_t(std::atoll(argv[++i]));
+        if (i + 1 < argc && argv[i + 1][0] != '-') chunk.z = size_t(std::atoll(argv[++i]));
+      } else if (a == "--threads") {
+        threads = std::atoi(next("--threads needs a count"));
+      } else if (a == "--no-lossless") {
+        lossless = false;
+      } else if (a == "--verify") {
+        verify = true;
+      } else if (a == "--drop") {
+        drop = size_t(std::atoll(next("--drop needs a level count")));
+      } else if (!a.empty() && a[0] == '-') {
+        usage(("unknown option " + a).c_str());
+      } else {
+        positional.push_back(a);
+      }
+    }
+  }
+};
+
+std::vector<double> load_field(const std::string& path, const Args& args) {
+  const auto bytes = read_file(path);
+  const size_t n = args.dims.total();
+  std::vector<double> field(n);
+  if (args.type == "f32") {
+    if (bytes.size() != n * 4) usage("file size does not match --dims for f32");
+    const float* p = reinterpret_cast<const float*>(bytes.data());
+    for (size_t i = 0; i < n; ++i) field[i] = double(p[i]);
+  } else if (args.type == "f64") {
+    if (bytes.size() != n * 8) usage("file size does not match --dims for f64");
+    std::memcpy(field.data(), bytes.data(), bytes.size());
+  } else {
+    usage("--type must be f32 or f64");
+  }
+  return field;
+}
+
+int cmd_compress(const Args& args) {
+  if (args.positional.size() != 3 || !args.have_dims) usage("compress needs IN OUT --dims");
+  const auto field = load_field(args.positional[1], args);
+
+  sperr::Config cfg;
+  cfg.q_over_t = args.q_over_t;
+  cfg.chunk_dims = args.chunk;
+  cfg.num_threads = args.threads;
+  cfg.lossless_pass = args.lossless;
+  if (args.pwe > 0) {
+    cfg.mode = sperr::Mode::pwe;
+    cfg.tolerance = args.pwe;
+  } else if (args.idx >= 0) {
+    cfg.mode = sperr::Mode::pwe;
+    cfg.tolerance = sperr::tolerance_from_idx(field.data(), field.size(), args.idx);
+  } else if (args.bpp > 0) {
+    cfg.mode = sperr::Mode::fixed_rate;
+    cfg.bpp = args.bpp;
+  } else if (args.rmse > 0) {
+    cfg.mode = sperr::Mode::target_rmse;
+    cfg.rmse = args.rmse;
+  } else {
+    usage("pick a quality mode: --pwe, --idx, --bpp or --rmse");
+  }
+
+  sperr::Timer timer;
+  sperr::Stats stats;
+  const auto blob = sperr::compress(field.data(), args.dims, cfg, &stats);
+  const double secs = timer.seconds();
+  write_file(args.positional[2], blob.data(), blob.size());
+
+  const size_t raw = field.size() * (args.type == "f32" ? 4 : 8);
+  std::printf("%s: %zu -> %zu bytes (%.2fx, %.3f bits/pt) in %.2fs, %zu chunks, %zu outliers\n",
+              args.positional[1].c_str(), raw, blob.size(),
+              double(raw) / double(blob.size()),
+              double(blob.size()) * 8 / double(field.size()), secs,
+              stats.num_chunks, stats.num_outliers);
+
+  if (args.verify) {
+    std::vector<double> recon;
+    sperr::Dims od;
+    if (sperr::decompress(blob.data(), blob.size(), recon, od) != sperr::Status::ok) {
+      std::fprintf(stderr, "verify: decompression FAILED\n");
+      return 1;
+    }
+    const auto q = sperr::metrics::compare(field.data(), recon.data(), field.size());
+    std::printf("verify: max err %.4g, RMSE %.4g, PSNR %.2f dB", q.max_pwe,
+                q.rmse, q.psnr);
+    if (cfg.mode == sperr::Mode::pwe) {
+      const bool ok = q.max_pwe <= cfg.tolerance;
+      std::printf(" — PWE bound %s", ok ? "HELD" : "VIOLATED");
+      if (!ok) {
+        std::printf("\n");
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_decompress(const Args& args) {
+  if (args.positional.size() != 3) usage("decompress needs IN OUT");
+  const auto blob = read_file(args.positional[1]);
+
+  std::vector<double> field;
+  sperr::Dims dims;
+  const sperr::Status s =
+      args.drop ? sperr::decompress_lowres(blob.data(), blob.size(), args.drop,
+                                           field, dims)
+                : sperr::decompress(blob.data(), blob.size(), field, dims);
+  if (s != sperr::Status::ok) {
+    std::fprintf(stderr, "error: decompression failed (%s)\n", to_string(s));
+    return 1;
+  }
+
+  if (args.type == "f32") {
+    std::vector<float> out(field.begin(), field.end());
+    write_file(args.positional[2], out.data(), out.size() * 4);
+  } else {
+    write_file(args.positional[2], field.data(), field.size() * 8);
+  }
+  std::printf("%s: %s doubles -> %s\n", args.positional[1].c_str(),
+              dims.to_string().c_str(), args.positional[2].c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 2) usage("info needs IN");
+  const auto blob = read_file(args.positional[1]);
+
+  std::vector<uint8_t> inner;
+  if (sperr::unwrap_container(blob.data(), blob.size(), inner) != sperr::Status::ok) {
+    std::fprintf(stderr, "error: not a SPERR container\n");
+    return 1;
+  }
+  sperr::ByteReader br(inner.data(), inner.size());
+  sperr::ContainerHeader hdr;
+  if (hdr.deserialize(br) != sperr::Status::ok) {
+    std::fprintf(stderr, "error: corrupt container header\n");
+    return 1;
+  }
+  const char* mode = hdr.mode == sperr::Mode::pwe ? "pwe"
+                     : hdr.mode == sperr::Mode::fixed_rate ? "fixed-rate"
+                                                           : "target-rmse";
+  std::printf("dims:        %s (%s input)\n", hdr.dims.to_string().c_str(),
+              hdr.precision == 4 ? "f32" : "f64");
+  std::printf("mode:        %s (quality parameter %.6g)\n", mode, hdr.quality);
+  std::printf("chunks:      %zu (preferred %s)\n", hdr.chunk_lens.size(),
+              hdr.chunk_dims.to_string().c_str());
+  size_t speck = 0, outl = 0;
+  for (const auto& [s, o] : hdr.chunk_lens) {
+    speck += s;
+    outl += o;
+  }
+  std::printf("streams:     %zu bytes SPECK, %zu bytes outlier corrections\n",
+              speck, outl);
+  std::printf("container:   %zu bytes (%.3f bits/pt)\n", blob.size(),
+              double(blob.size()) * 8 / double(hdr.dims.total()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.positional.empty()) usage();
+  const std::string& cmd = args.positional[0];
+  if (cmd == "c") return cmd_compress(args);
+  if (cmd == "d") return cmd_decompress(args);
+  if (cmd == "info") return cmd_info(args);
+  usage(("unknown command " + cmd).c_str());
+}
