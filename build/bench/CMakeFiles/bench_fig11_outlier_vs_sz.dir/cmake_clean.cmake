@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_outlier_vs_sz.dir/bench_fig11_outlier_vs_sz.cpp.o"
+  "CMakeFiles/bench_fig11_outlier_vs_sz.dir/bench_fig11_outlier_vs_sz.cpp.o.d"
+  "bench_fig11_outlier_vs_sz"
+  "bench_fig11_outlier_vs_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_outlier_vs_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_outlier_vs_sz.
+# This may be replaced when dependencies are built.

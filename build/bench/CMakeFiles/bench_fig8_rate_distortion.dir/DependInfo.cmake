@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_rate_distortion.cpp" "bench/CMakeFiles/bench_fig8_rate_distortion.dir/bench_fig8_rate_distortion.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8_rate_distortion.dir/bench_fig8_rate_distortion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sperr/CMakeFiles/sperr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/speck/CMakeFiles/sperr_speck.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/sperr_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/sperr_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/sperr_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sperr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sperr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/szlike/CMakeFiles/sperr_szlike.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/zfplike/CMakeFiles/sperr_zfplike.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/tthreshlike/CMakeFiles/sperr_tthreshlike.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/mgardlike/CMakeFiles/sperr_mgardlike.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

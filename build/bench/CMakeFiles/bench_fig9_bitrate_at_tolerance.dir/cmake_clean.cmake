@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_bitrate_at_tolerance.dir/bench_fig9_bitrate_at_tolerance.cpp.o"
+  "CMakeFiles/bench_fig9_bitrate_at_tolerance.dir/bench_fig9_bitrate_at_tolerance.cpp.o.d"
+  "bench_fig9_bitrate_at_tolerance"
+  "bench_fig9_bitrate_at_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_bitrate_at_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssim_quality.dir/bench_ssim_quality.cpp.o"
+  "CMakeFiles/bench_ssim_quality.dir/bench_ssim_quality.cpp.o.d"
+  "bench_ssim_quality"
+  "bench_ssim_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssim_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/climate_archive.cpp" "examples/CMakeFiles/climate_archive.dir/climate_archive.cpp.o" "gcc" "examples/CMakeFiles/climate_archive.dir/climate_archive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sperr/CMakeFiles/sperr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/speck/CMakeFiles/sperr_speck.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/sperr_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/sperr_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/sperr_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sperr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sperr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

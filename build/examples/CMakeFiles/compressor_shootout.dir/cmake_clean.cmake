@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressor_shootout.dir/compressor_shootout.cpp.o"
+  "CMakeFiles/compressor_shootout.dir/compressor_shootout.cpp.o.d"
+  "compressor_shootout"
+  "compressor_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressor_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

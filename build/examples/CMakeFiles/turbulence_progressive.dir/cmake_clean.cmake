@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_progressive.dir/turbulence_progressive.cpp.o"
+  "CMakeFiles/turbulence_progressive.dir/turbulence_progressive.cpp.o.d"
+  "turbulence_progressive"
+  "turbulence_progressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_progressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_mgardlike.dir/compressor.cpp.o"
+  "CMakeFiles/sperr_mgardlike.dir/compressor.cpp.o.d"
+  "libsperr_mgardlike.a"
+  "libsperr_mgardlike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_mgardlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

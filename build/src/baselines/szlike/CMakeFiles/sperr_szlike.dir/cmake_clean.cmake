@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_szlike.dir/compressor.cpp.o"
+  "CMakeFiles/sperr_szlike.dir/compressor.cpp.o.d"
+  "CMakeFiles/sperr_szlike.dir/quant_bins.cpp.o"
+  "CMakeFiles/sperr_szlike.dir/quant_bins.cpp.o.d"
+  "libsperr_szlike.a"
+  "libsperr_szlike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_szlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

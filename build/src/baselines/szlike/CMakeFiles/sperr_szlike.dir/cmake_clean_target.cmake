@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsperr_szlike.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/tthreshlike/compressor.cpp" "src/baselines/tthreshlike/CMakeFiles/sperr_tthreshlike.dir/compressor.cpp.o" "gcc" "src/baselines/tthreshlike/CMakeFiles/sperr_tthreshlike.dir/compressor.cpp.o.d"
+  "/root/repo/src/baselines/tthreshlike/linalg.cpp" "src/baselines/tthreshlike/CMakeFiles/sperr_tthreshlike.dir/linalg.cpp.o" "gcc" "src/baselines/tthreshlike/CMakeFiles/sperr_tthreshlike.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/speck/CMakeFiles/sperr_speck.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_tthreshlike.dir/compressor.cpp.o"
+  "CMakeFiles/sperr_tthreshlike.dir/compressor.cpp.o.d"
+  "CMakeFiles/sperr_tthreshlike.dir/linalg.cpp.o"
+  "CMakeFiles/sperr_tthreshlike.dir/linalg.cpp.o.d"
+  "libsperr_tthreshlike.a"
+  "libsperr_tthreshlike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_tthreshlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/zfplike/block_codec.cpp" "src/baselines/zfplike/CMakeFiles/sperr_zfplike.dir/block_codec.cpp.o" "gcc" "src/baselines/zfplike/CMakeFiles/sperr_zfplike.dir/block_codec.cpp.o.d"
+  "/root/repo/src/baselines/zfplike/compressor.cpp" "src/baselines/zfplike/CMakeFiles/sperr_zfplike.dir/compressor.cpp.o" "gcc" "src/baselines/zfplike/CMakeFiles/sperr_zfplike.dir/compressor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

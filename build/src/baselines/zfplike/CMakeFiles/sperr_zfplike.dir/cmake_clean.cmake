@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_zfplike.dir/block_codec.cpp.o"
+  "CMakeFiles/sperr_zfplike.dir/block_codec.cpp.o.d"
+  "CMakeFiles/sperr_zfplike.dir/compressor.cpp.o"
+  "CMakeFiles/sperr_zfplike.dir/compressor.cpp.o.d"
+  "libsperr_zfplike.a"
+  "libsperr_zfplike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_zfplike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sperr_zfplike.
+# This may be replaced when dependencies are built.

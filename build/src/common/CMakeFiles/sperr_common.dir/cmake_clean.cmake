@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_common.dir/bitstream.cpp.o"
+  "CMakeFiles/sperr_common.dir/bitstream.cpp.o.d"
+  "CMakeFiles/sperr_common.dir/byteio.cpp.o"
+  "CMakeFiles/sperr_common.dir/byteio.cpp.o.d"
+  "CMakeFiles/sperr_common.dir/stats.cpp.o"
+  "CMakeFiles/sperr_common.dir/stats.cpp.o.d"
+  "libsperr_common.a"
+  "libsperr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_data.dir/spectral.cpp.o"
+  "CMakeFiles/sperr_data.dir/spectral.cpp.o.d"
+  "CMakeFiles/sperr_data.dir/synthetic.cpp.o"
+  "CMakeFiles/sperr_data.dir/synthetic.cpp.o.d"
+  "libsperr_data.a"
+  "libsperr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

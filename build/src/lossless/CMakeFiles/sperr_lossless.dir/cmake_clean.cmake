@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_lossless.dir/codec.cpp.o"
+  "CMakeFiles/sperr_lossless.dir/codec.cpp.o.d"
+  "CMakeFiles/sperr_lossless.dir/huffman.cpp.o"
+  "CMakeFiles/sperr_lossless.dir/huffman.cpp.o.d"
+  "CMakeFiles/sperr_lossless.dir/lz77.cpp.o"
+  "CMakeFiles/sperr_lossless.dir/lz77.cpp.o.d"
+  "libsperr_lossless.a"
+  "libsperr_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

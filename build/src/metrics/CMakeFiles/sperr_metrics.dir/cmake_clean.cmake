@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/sperr_metrics.dir/metrics.cpp.o.d"
+  "libsperr_metrics.a"
+  "libsperr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_outlier.dir/coder.cpp.o"
+  "CMakeFiles/sperr_outlier.dir/coder.cpp.o.d"
+  "libsperr_outlier.a"
+  "libsperr_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_speck.dir/decoder.cpp.o"
+  "CMakeFiles/sperr_speck.dir/decoder.cpp.o.d"
+  "CMakeFiles/sperr_speck.dir/encoder.cpp.o"
+  "CMakeFiles/sperr_speck.dir/encoder.cpp.o.d"
+  "CMakeFiles/sperr_speck.dir/raw_bitplane.cpp.o"
+  "CMakeFiles/sperr_speck.dir/raw_bitplane.cpp.o.d"
+  "libsperr_speck.a"
+  "libsperr_speck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_speck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

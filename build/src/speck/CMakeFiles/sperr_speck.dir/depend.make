@@ -1,0 +1,2 @@
+# Empty dependencies file for sperr_speck.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sperr/archive.cpp" "src/sperr/CMakeFiles/sperr_core.dir/archive.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/archive.cpp.o.d"
+  "/root/repo/src/sperr/chunker.cpp" "src/sperr/CMakeFiles/sperr_core.dir/chunker.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/chunker.cpp.o.d"
+  "/root/repo/src/sperr/compressor.cpp" "src/sperr/CMakeFiles/sperr_core.dir/compressor.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/compressor.cpp.o.d"
+  "/root/repo/src/sperr/decompressor.cpp" "src/sperr/CMakeFiles/sperr_core.dir/decompressor.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/decompressor.cpp.o.d"
+  "/root/repo/src/sperr/header.cpp" "src/sperr/CMakeFiles/sperr_core.dir/header.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/header.cpp.o.d"
+  "/root/repo/src/sperr/outofcore.cpp" "src/sperr/CMakeFiles/sperr_core.dir/outofcore.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/outofcore.cpp.o.d"
+  "/root/repo/src/sperr/pipeline.cpp" "src/sperr/CMakeFiles/sperr_core.dir/pipeline.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sperr/truncate.cpp" "src/sperr/CMakeFiles/sperr_core.dir/truncate.cpp.o" "gcc" "src/sperr/CMakeFiles/sperr_core.dir/truncate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/sperr_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/speck/CMakeFiles/sperr_speck.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/sperr_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/sperr_lossless.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_core.dir/archive.cpp.o"
+  "CMakeFiles/sperr_core.dir/archive.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/chunker.cpp.o"
+  "CMakeFiles/sperr_core.dir/chunker.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/compressor.cpp.o"
+  "CMakeFiles/sperr_core.dir/compressor.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/decompressor.cpp.o"
+  "CMakeFiles/sperr_core.dir/decompressor.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/header.cpp.o"
+  "CMakeFiles/sperr_core.dir/header.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/outofcore.cpp.o"
+  "CMakeFiles/sperr_core.dir/outofcore.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sperr_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sperr_core.dir/truncate.cpp.o"
+  "CMakeFiles/sperr_core.dir/truncate.cpp.o.d"
+  "libsperr_core.a"
+  "libsperr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

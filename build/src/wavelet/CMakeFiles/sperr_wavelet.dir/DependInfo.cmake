@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavelet/cdf97.cpp" "src/wavelet/CMakeFiles/sperr_wavelet.dir/cdf97.cpp.o" "gcc" "src/wavelet/CMakeFiles/sperr_wavelet.dir/cdf97.cpp.o.d"
+  "/root/repo/src/wavelet/dwt.cpp" "src/wavelet/CMakeFiles/sperr_wavelet.dir/dwt.cpp.o" "gcc" "src/wavelet/CMakeFiles/sperr_wavelet.dir/dwt.cpp.o.d"
+  "/root/repo/src/wavelet/kernels.cpp" "src/wavelet/CMakeFiles/sperr_wavelet.dir/kernels.cpp.o" "gcc" "src/wavelet/CMakeFiles/sperr_wavelet.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

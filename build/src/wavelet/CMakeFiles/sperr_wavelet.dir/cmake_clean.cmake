@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_wavelet.dir/cdf97.cpp.o"
+  "CMakeFiles/sperr_wavelet.dir/cdf97.cpp.o.d"
+  "CMakeFiles/sperr_wavelet.dir/dwt.cpp.o"
+  "CMakeFiles/sperr_wavelet.dir/dwt.cpp.o.d"
+  "CMakeFiles/sperr_wavelet.dir/kernels.cpp.o"
+  "CMakeFiles/sperr_wavelet.dir/kernels.cpp.o.d"
+  "libsperr_wavelet.a"
+  "libsperr_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lossless.dir/test_codec.cpp.o"
+  "CMakeFiles/test_lossless.dir/test_codec.cpp.o.d"
+  "CMakeFiles/test_lossless.dir/test_huffman.cpp.o"
+  "CMakeFiles/test_lossless.dir/test_huffman.cpp.o.d"
+  "CMakeFiles/test_lossless.dir/test_lz77.cpp.o"
+  "CMakeFiles/test_lossless.dir/test_lz77.cpp.o.d"
+  "test_lossless"
+  "test_lossless.pdb"
+  "test_lossless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

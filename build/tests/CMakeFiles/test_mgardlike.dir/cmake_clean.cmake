@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mgardlike.dir/test_mgardlike.cpp.o"
+  "CMakeFiles/test_mgardlike.dir/test_mgardlike.cpp.o.d"
+  "test_mgardlike"
+  "test_mgardlike.pdb"
+  "test_mgardlike[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mgardlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

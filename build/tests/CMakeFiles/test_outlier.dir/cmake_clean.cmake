@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outlier.dir/test_outlier.cpp.o"
+  "CMakeFiles/test_outlier.dir/test_outlier.cpp.o.d"
+  "test_outlier"
+  "test_outlier.pdb"
+  "test_outlier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

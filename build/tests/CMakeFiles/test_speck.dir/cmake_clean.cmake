@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speck.dir/test_raw_bitplane.cpp.o"
+  "CMakeFiles/test_speck.dir/test_raw_bitplane.cpp.o.d"
+  "CMakeFiles/test_speck.dir/test_speck.cpp.o"
+  "CMakeFiles/test_speck.dir/test_speck.cpp.o.d"
+  "test_speck"
+  "test_speck.pdb"
+  "test_speck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_archive.cpp" "tests/CMakeFiles/test_sperr.dir/test_archive.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_archive.cpp.o.d"
+  "/root/repo/tests/test_chunker.cpp" "tests/CMakeFiles/test_sperr.dir/test_chunker.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_chunker.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/test_sperr.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_header.cpp" "tests/CMakeFiles/test_sperr.dir/test_header.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_header.cpp.o.d"
+  "/root/repo/tests/test_outofcore.cpp" "tests/CMakeFiles/test_sperr.dir/test_outofcore.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_outofcore.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/test_sperr.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_sperr_properties.cpp" "tests/CMakeFiles/test_sperr.dir/test_sperr_properties.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_sperr_properties.cpp.o.d"
+  "/root/repo/tests/test_sperr_roundtrip.cpp" "tests/CMakeFiles/test_sperr.dir/test_sperr_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_sperr_roundtrip.cpp.o.d"
+  "/root/repo/tests/test_truncate.cpp" "tests/CMakeFiles/test_sperr.dir/test_truncate.cpp.o" "gcc" "tests/CMakeFiles/test_sperr.dir/test_truncate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sperr/CMakeFiles/sperr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/speck/CMakeFiles/sperr_speck.dir/DependInfo.cmake"
+  "/root/repo/build/src/outlier/CMakeFiles/sperr_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavelet/CMakeFiles/sperr_wavelet.dir/DependInfo.cmake"
+  "/root/repo/build/src/lossless/CMakeFiles/sperr_lossless.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sperr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sperr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sperr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

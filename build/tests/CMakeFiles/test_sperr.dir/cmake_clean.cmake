@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sperr.dir/test_archive.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_archive.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_chunker.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_chunker.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_extensions.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_header.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_header.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_outofcore.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_outofcore.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_sperr_properties.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_sperr_properties.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_sperr_roundtrip.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_sperr_roundtrip.cpp.o.d"
+  "CMakeFiles/test_sperr.dir/test_truncate.cpp.o"
+  "CMakeFiles/test_sperr.dir/test_truncate.cpp.o.d"
+  "test_sperr"
+  "test_sperr.pdb"
+  "test_sperr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sperr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_szlike.dir/test_szlike.cpp.o"
+  "CMakeFiles/test_szlike.dir/test_szlike.cpp.o.d"
+  "test_szlike"
+  "test_szlike.pdb"
+  "test_szlike[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_szlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

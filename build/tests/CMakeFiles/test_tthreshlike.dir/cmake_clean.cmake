@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tthreshlike.dir/test_tthreshlike.cpp.o"
+  "CMakeFiles/test_tthreshlike.dir/test_tthreshlike.cpp.o.d"
+  "test_tthreshlike"
+  "test_tthreshlike.pdb"
+  "test_tthreshlike[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tthreshlike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavelet.dir/test_cdf97.cpp.o"
+  "CMakeFiles/test_wavelet.dir/test_cdf97.cpp.o.d"
+  "CMakeFiles/test_wavelet.dir/test_dwt.cpp.o"
+  "CMakeFiles/test_wavelet.dir/test_dwt.cpp.o.d"
+  "CMakeFiles/test_wavelet.dir/test_kernels.cpp.o"
+  "CMakeFiles/test_wavelet.dir/test_kernels.cpp.o.d"
+  "test_wavelet"
+  "test_wavelet.pdb"
+  "test_wavelet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfplike.dir/test_zfplike.cpp.o"
+  "CMakeFiles/test_zfplike.dir/test_zfplike.cpp.o.d"
+  "test_zfplike"
+  "test_zfplike.pdb"
+  "test_zfplike[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfplike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

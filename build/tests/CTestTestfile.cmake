@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_lossless[1]_include.cmake")
+include("/root/repo/build/tests/test_wavelet[1]_include.cmake")
+include("/root/repo/build/tests/test_speck[1]_include.cmake")
+include("/root/repo/build/tests/test_outlier[1]_include.cmake")
+include("/root/repo/build/tests/test_sperr[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_szlike[1]_include.cmake")
+include("/root/repo/build/tests/test_zfplike[1]_include.cmake")
+include("/root/repo/build/tests/test_tthreshlike[1]_include.cmake")
+include("/root/repo/build/tests/test_mgardlike[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+add_test(cli_make_field "/root/repo/build/tools/make_field" "miranda_pressure" "48" "48" "24" "/root/repo/build/tests/cli_work/field.raw" "--type" "f64")
+set_tests_properties(cli_make_field PROPERTIES  FIXTURES_SETUP "cli_field" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_compress_pwe_verify "/root/repo/build/tools/sperr_cc" "c" "/root/repo/build/tests/cli_work/field.raw" "/root/repo/build/tests/cli_work/field.sperr" "--dims" "48" "48" "24" "--type" "f64" "--idx" "20" "--chunk" "32" "32" "32" "--verify")
+set_tests_properties(cli_compress_pwe_verify PROPERTIES  FIXTURES_REQUIRED "cli_field" FIXTURES_SETUP "cli_blob" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;45;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build/tools/sperr_cc" "info" "/root/repo/build/tests/cli_work/field.sperr")
+set_tests_properties(cli_info PROPERTIES  FIXTURES_REQUIRED "cli_blob" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;51;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_decompress "/root/repo/build/tools/sperr_cc" "d" "/root/repo/build/tests/cli_work/field.sperr" "/root/repo/build/tests/cli_work/restored.raw")
+set_tests_properties(cli_decompress PROPERTIES  FIXTURES_REQUIRED "cli_blob" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;54;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_compress_rate "/root/repo/build/tools/sperr_cc" "c" "/root/repo/build/tests/cli_work/field.raw" "/root/repo/build/tests/cli_work/rate.sperr" "--dims" "48" "48" "24" "--type" "f64" "--bpp" "2.0" "--verify")
+set_tests_properties(cli_compress_rate PROPERTIES  FIXTURES_REQUIRED "cli_field" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_lowres_decompress "/root/repo/build/tools/sperr_cc" "c" "/root/repo/build/tests/cli_work/field.raw" "/root/repo/build/tests/cli_work/one.sperr" "--dims" "48" "48" "24" "--type" "f64" "--idx" "10")
+set_tests_properties(cli_lowres_decompress PROPERTIES  FIXTURES_REQUIRED "cli_field" FIXTURES_SETUP "cli_one" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_lowres_drop "/root/repo/build/tools/sperr_cc" "d" "/root/repo/build/tests/cli_work/one.sperr" "/root/repo/build/tests/cli_work/coarse.raw" "--drop" "1")
+set_tests_properties(cli_lowres_drop PROPERTIES  FIXTURES_REQUIRED "cli_one" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;68;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_field.dir/make_field.cpp.o"
+  "CMakeFiles/make_field.dir/make_field.cpp.o.d"
+  "make_field"
+  "make_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sperr_cc.dir/sperr_cc.cpp.o"
+  "CMakeFiles/sperr_cc.dir/sperr_cc.cpp.o.d"
+  "sperr_cc"
+  "sperr_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sperr_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
