@@ -2,10 +2,22 @@
 // wavelet transforms, SPECK encode/decode, the outlier coder, the lossless
 // back end, and the ZFP-like block codec. Useful for tracking throughput
 // regressions independent of the figure-level harnesses.
+//
+// A second mode records the blocked-vs-reference wavelet speedup as a
+// machine-readable JSON file (the PR-over-PR perf trail; CI uploads it as
+// an artifact):
+//   bench_micro --wavelet_json=BENCH_wavelet.json [--wavelet_n=256]
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
+
+#include "common/timer.h"
 
 #include "baselines/zfplike/block_codec.h"
 #include "common/rng.h"
@@ -55,6 +67,33 @@ void BM_InverseDwt3D(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
 }
 BENCHMARK(BM_InverseDwt3D);
+
+void BM_ForwardDwt3D_Reference(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  const auto& vol = test_volume(dims);
+  std::vector<double> work(vol.size());
+  for (auto _ : state) {
+    work = vol;
+    sperr::wavelet::forward_dwt_reference(work.data(), dims);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(vol.size()));
+}
+BENCHMARK(BM_ForwardDwt3D_Reference);
+
+void BM_InverseDwt3D_Reference(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  std::vector<double> work(coeffs.size());
+  for (auto _ : state) {
+    work = coeffs;
+    sperr::wavelet::inverse_dwt_reference(work.data(), dims);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_InverseDwt3D_Reference);
 
 void BM_SpeckEncode(benchmark::State& state) {
   const Dims dims{64, 64, 64};
@@ -151,6 +190,116 @@ void BM_SyntheticGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_SyntheticGenerator);
 
+// --- BENCH_wavelet.json: blocked-vs-reference CDF 9/7 speedup record -------
+
+struct WaveletRecord {
+  Dims dims;
+  int repeats = 3;
+  double reference_s = 0.0;  // best-of-repeats forward+inverse, per-line path
+  double blocked_s = 0.0;    // same volume, blocked/batched path
+  bool bit_identical = false;
+};
+
+WaveletRecord run_wavelet_record(size_t n, int repeats) {
+  using namespace sperr::wavelet;
+  WaveletRecord rec;
+  rec.dims = Dims{n, n, n};
+  rec.repeats = repeats;
+
+  const auto vol = sperr::data::miranda_pressure(rec.dims);
+  std::vector<double> a(vol), b(vol);
+
+  // Equivalence first: the speedup claim is only meaningful if the blocked
+  // path produces the very same bits as the reference it replaces.
+  forward_dwt(a.data(), rec.dims);
+  forward_dwt_reference(b.data(), rec.dims);
+  rec.bit_identical =
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+  inverse_dwt(a.data(), rec.dims);
+  inverse_dwt_reference(b.data(), rec.dims);
+  rec.bit_identical = rec.bit_identical &&
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+
+  sperr::Timer timer;
+  std::vector<double> work(vol.size());
+  rec.reference_s = 1e300;
+  rec.blocked_s = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    work = vol;
+    timer.reset();
+    forward_dwt_reference(work.data(), rec.dims);
+    inverse_dwt_reference(work.data(), rec.dims);
+    rec.reference_s = std::min(rec.reference_s, timer.seconds());
+
+    work = vol;
+    timer.reset();
+    forward_dwt(work.data(), rec.dims);
+    inverse_dwt(work.data(), rec.dims);
+    rec.blocked_s = std::min(rec.blocked_s, timer.seconds());
+  }
+  return rec;
+}
+
+int write_wavelet_json(const std::string& path, size_t n, int repeats) {
+  const WaveletRecord rec = run_wavelet_record(n, repeats);
+  const double bytes = double(rec.dims.total()) * sizeof(double);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"benchmark\": \"cdf97_3d_forward_inverse\",\n"
+                "  \"dims\": [%zu, %zu, %zu],\n"
+                "  \"repeats\": %d,\n"
+                "  \"line_batch\": %zu,\n"
+                "  \"reference_seconds\": %.6f,\n"
+                "  \"blocked_seconds\": %.6f,\n"
+                "  \"speedup\": %.3f,\n"
+                "  \"reference_mbps\": %.1f,\n"
+                "  \"blocked_mbps\": %.1f,\n"
+                "  \"bit_identical\": %s\n"
+                "}\n",
+                rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats,
+                sperr::wavelet::kLineBatch, rec.reference_s, rec.blocked_s,
+                rec.reference_s / rec.blocked_s, bytes / rec.reference_s / 1e6,
+                bytes / rec.blocked_s / 1e6, rec.bit_identical ? "true" : "false");
+  out << buf;
+  std::printf("%s", buf);
+  // A blocked path that is not bit-identical to the reference is a
+  // correctness regression: fail so CI notices.
+  if (!rec.bit_identical) return 2;
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  size_t wavelet_n = 256;
+  int repeats = 3;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--wavelet_json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--wavelet_json="));
+    } else if (arg.rfind("--wavelet_n=", 0) == 0) {
+      wavelet_n = std::stoul(arg.substr(std::strlen("--wavelet_n=")));
+    } else if (arg.rfind("--wavelet_repeats=", 0) == 0) {
+      repeats = std::stoi(arg.substr(std::strlen("--wavelet_repeats=")));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) return write_wavelet_json(json_path, wavelet_n, repeats);
+
+  int pass_argc = int(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

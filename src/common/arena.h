@@ -1,0 +1,175 @@
+#pragma once
+
+// Per-thread bump-pointer scratch arena for the chunked hot paths. The
+// compressor/decompressor loops and the blocked wavelet driver need a
+// handful of short-lived buffers (chunk gather buffer, coefficient copy,
+// SoA line tiles) per chunk; allocating them from the heap on every chunk
+// iteration dominates small-chunk runs and fragments under OpenMP. An Arena
+// hands out 64-byte-aligned slices of one retained block instead:
+//
+//   Arena& a = tls_arena();          // one per thread, reused forever
+//   a.reset();                       // start of a chunk: rewind, keep memory
+//   double* buf = a.alloc<double>(n);
+//   { Arena::Scope s(a);             // nested callee scratch
+//     double* tile = a.alloc<double>(tile_elems);
+//     ...                            // tile released at scope exit, buf lives on
+//   }
+//
+// Growth never moves live allocations (new capacity arrives as an extra
+// block); reset() coalesces the blocks so after a warm-up pass the arena is
+// a single block and steady-state chunk iterations perform zero heap
+// allocations. Instances are not thread-safe; use tls_arena() per thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace sperr {
+
+class Arena {
+ public:
+  /// Alignment of every returned pointer: one cache line, which also
+  /// satisfies any vectorized load the compiler emits for double lanes.
+  static constexpr size_t kAlignment = 64;
+
+  Arena() = default;
+  explicit Arena(size_t initial_bytes) {
+    if (initial_bytes > 0) add_block(round_up(initial_bytes));
+  }
+  ~Arena() { release_all(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` (rounded up to kAlignment), valid until the enclosing
+  /// Scope exits or reset() is called. Never returns null for bytes == 0
+  /// arenas-with-capacity; grows by whole blocks, so previously returned
+  /// pointers stay valid across growth.
+  void* allocate(size_t bytes) {
+    const size_t need = round_up(bytes ? bytes : 1);
+    while (active_ < blocks_.size()) {
+      Block& b = blocks_[active_];
+      if (b.size - b.offset >= need) {
+        void* p = static_cast<char*>(b.ptr) + b.offset;
+        b.offset += need;
+        return p;
+      }
+      // Current block exhausted for this request; move on (later blocks are
+      // only ever fresh ones appended below, so no space is stranded long:
+      // the next reset() coalesces everything).
+      ++active_;
+      if (active_ < blocks_.size()) blocks_[active_].offset = 0;
+    }
+    // Geometric growth: at least double total capacity so a warmed-up arena
+    // stops growing after O(log) chunks.
+    add_block(std::max(need, std::max(capacity(), kMinBlockBytes)));
+    Block& b = blocks_.back();
+    b.offset = need;
+    return b.ptr;
+  }
+
+  template <class T>
+  T* alloc(size_t count) {
+    static_assert(alignof(T) <= kAlignment);
+    return static_cast<T*>(allocate(count * sizeof(T)));
+  }
+
+  /// Rewind to empty while retaining capacity. If growth left multiple
+  /// blocks behind, they are merged into one so subsequent identical
+  /// workloads allocate nothing. Invalidates everything allocate() returned.
+  void reset() {
+    if (blocks_.size() > 1) {
+      const size_t total = capacity();
+      release_all();
+      add_block(total);
+    }
+    for (Block& b : blocks_) b.offset = 0;
+    active_ = 0;
+  }
+
+  /// Total bytes owned (across blocks).
+  [[nodiscard]] size_t capacity() const {
+    size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+
+  /// Bytes currently handed out.
+  [[nodiscard]] size_t used() const {
+    size_t u = 0;
+    for (size_t i = 0; i < blocks_.size() && i <= active_; ++i)
+      u += blocks_[i].offset;
+    return u;
+  }
+
+  /// Number of system allocations performed over the arena's lifetime.
+  /// Steady-state hot loops must leave this constant — asserted in tests.
+  [[nodiscard]] size_t system_alloc_count() const { return system_allocs_; }
+
+  /// RAII rewind point: allocations made inside the scope are released on
+  /// exit, allocations made before it survive. Blocks added inside the
+  /// scope are kept (capacity is never shrunk mid-flight).
+  class Scope {
+   public:
+    explicit Scope(Arena& a)
+        : arena_(a),
+          active_(a.active_),
+          offset_(a.active_ < a.blocks_.size() ? a.blocks_[a.active_].offset : 0) {}
+    ~Scope() {
+      arena_.active_ = active_;
+      for (size_t i = active_; i < arena_.blocks_.size(); ++i)
+        arena_.blocks_[i].offset = i == active_ ? offset_ : 0;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    size_t active_;
+    size_t offset_;
+  };
+
+ private:
+  static constexpr size_t kMinBlockBytes = size_t(1) << 16;  // 64 KiB floor
+
+  struct Block {
+    void* ptr = nullptr;
+    size_t size = 0;
+    size_t offset = 0;
+  };
+
+  static constexpr size_t round_up(size_t n) {
+    return (n + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void add_block(size_t bytes) {
+    Block b;
+    b.size = round_up(bytes);
+    b.ptr = ::operator new(b.size, std::align_val_t{kAlignment});
+    ++system_allocs_;
+    blocks_.push_back(b);
+    active_ = blocks_.size() - 1;
+  }
+
+  void release_all() {
+    for (Block& b : blocks_)
+      ::operator delete(b.ptr, std::align_val_t{kAlignment});
+    blocks_.clear();
+    active_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  size_t active_ = 0;
+  size_t system_allocs_ = 0;
+};
+
+/// The calling thread's scratch arena. Every OpenMP worker (and the main
+/// thread) gets its own, living for the thread's lifetime, so the chunk
+/// loops reuse one warm allocation across all chunks they process.
+inline Arena& tls_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace sperr

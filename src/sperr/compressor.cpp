@@ -2,6 +2,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/arena.h"
 #include "common/stats.h"
 #include "sperr/chunker.h"
 #include "sperr/header.h"
@@ -43,15 +44,22 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
 #endif
   for (size_t i = 0; i < chunks.size(); ++i) {
     const Chunk& c = chunks[i];
-    std::vector<double> buf(c.dims.total());
-    gather_chunk(data, dims, c, buf.data());
+    // All large per-chunk scratch (gather buffer, coefficient copy, wavelet
+    // tiles) comes from this worker's arena: after the first chunk of a
+    // given size the loop performs no heap allocation for these buffers.
+    Arena& arena = tls_arena();
+    arena.reset();
+    double* buf = arena.alloc<double>(c.dims.total());
+    gather_chunk(data, dims, c, buf);
     if (cfg.mode == Mode::pwe) {
-      streams[i] = pipeline::encode_pwe(buf.data(), c.dims, cfg.tolerance, cfg.q_over_t);
+      streams[i] = pipeline::encode_pwe(buf, c.dims, cfg.tolerance, cfg.q_over_t,
+                                        nullptr, &arena);
     } else if (cfg.mode == Mode::target_rmse) {
-      streams[i] = pipeline::encode_target_rmse(buf.data(), c.dims, cfg.rmse);
+      streams[i] = pipeline::encode_target_rmse(buf, c.dims, cfg.rmse, &arena);
     } else {
       const auto budget = size_t(std::llround(cfg.bpp * double(c.dims.total())));
-      streams[i] = pipeline::encode_fixed_rate(buf.data(), c.dims, std::max<size_t>(budget, 8));
+      streams[i] = pipeline::encode_fixed_rate(buf, c.dims,
+                                               std::max<size_t>(budget, 8), &arena);
     }
   }
 

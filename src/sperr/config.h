@@ -53,15 +53,28 @@ struct Config {
 };
 
 /// Wall-clock seconds per pipeline stage (paper Fig. 6), summed over chunks
-/// (i.e. total work, not elapsed time, when running multi-threaded).
+/// (i.e. total work, not elapsed time, when running multi-threaded), plus
+/// the uncompressed payload bytes those stages processed so per-stage
+/// throughput is trackable PR-over-PR (bench_micro's BENCH_wavelet.json).
 struct StageTiming {
   double transform_s = 0.0;  ///< forward wavelet transform
   double speck_s = 0.0;      ///< SPECK coefficient coding
   double locate_s = 0.0;     ///< inverse transform + comparison to find outliers
   double outlier_s = 0.0;    ///< outlier coding
+  uint64_t bytes = 0;        ///< uncompressed input bytes covered by the times
 
   [[nodiscard]] double total() const {
     return transform_s + speck_s + locate_s + outlier_s;
+  }
+
+  /// Forward-transform stage throughput in MB/s (0 when unmeasured).
+  [[nodiscard]] double transform_mbps() const {
+    return transform_s > 0.0 ? double(bytes) / transform_s / 1e6 : 0.0;
+  }
+
+  /// Whole-pipeline throughput in MB/s (0 when unmeasured).
+  [[nodiscard]] double total_mbps() const {
+    return total() > 0.0 ? double(bytes) / total() / 1e6 : 0.0;
   }
 
   StageTiming& operator+=(const StageTiming& o) {
@@ -69,6 +82,7 @@ struct StageTiming {
     speck_s += o.speck_s;
     locate_s += o.locate_s;
     outlier_s += o.outlier_s;
+    bytes += o.bytes;
     return *this;
   }
 };

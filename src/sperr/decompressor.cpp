@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "common/arena.h"
 #include "common/byteio.h"
 #include "sperr/chunker.h"
 #include "sperr/header.h"
@@ -51,11 +52,16 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out
 #endif
   for (size_t i = 0; i < chunks.size(); ++i) {
     const Chunk& c = chunks[i];
-    std::vector<double> buf(c.dims.total());
+    // Decode straight from the container slices (no per-chunk stream
+    // copies); the chunk buffer and wavelet tiles live in this worker's
+    // reused arena.
+    Arena& arena = tls_arena();
+    arena.reset();
+    double* buf = arena.alloc<double>(c.dims.total());
+    std::fill(buf, buf + c.dims.total(), 0.0);
     const Slice& s = slices[i];
-    const std::vector<uint8_t> speck(s.speck, s.speck + s.speck_len);
-    const std::vector<uint8_t> outl(s.outlier, s.outlier + s.outlier_len);
-    const Status cs = pipeline::decode(speck, outl, c.dims, buf.data());
+    const Status cs = pipeline::decode(s.speck, s.speck_len, s.outlier,
+                                       s.outlier_len, c.dims, buf, &arena);
     if (cs != Status::ok) {
 #ifdef SPERR_HAVE_OPENMP
 #pragma omp critical
@@ -63,7 +69,7 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out
       status = cs;
       continue;
     }
-    scatter_chunk(buf.data(), c, out.data(), dims);
+    scatter_chunk(buf, c, out.data(), dims);
   }
   return status;
 } catch (const std::bad_alloc&) {

@@ -178,11 +178,10 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
     const uint8_t* sp = br.raw(speck_len);
     const uint8_t* op = br.raw(outlier_len);
     if ((speck_len && !sp) || (outlier_len && !op)) return Status::truncated_stream;
-    const std::vector<uint8_t> speck(sp, sp + speck_len);
-    const std::vector<uint8_t> outl(op, op + outlier_len);
 
     buf.assign(chunks[i].dims.total(), 0.0);
-    if (const Status s = pipeline::decode(speck, outl, chunks[i].dims, buf.data());
+    if (const Status s = pipeline::decode(sp, speck_len, op, outlier_len,
+                                          chunks[i].dims, buf.data());
         s != Status::ok)
       return s;
     if (!write_chunk(out, hdr.dims, precision, chunks[i], buf))

@@ -13,15 +13,20 @@ namespace sperr::pipeline {
 
 ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
                        double q_over_t,
-                       std::vector<outlier::Outlier>* capture_outliers) {
+                       std::vector<outlier::Outlier>* capture_outliers,
+                       Arena* arena) {
   ChunkStream result;
   const size_t n = dims.total();
   const double q = q_over_t * tolerance;
+  Arena& a = arena ? *arena : tls_arena();
+  Arena::Scope scope(a);
+  result.timing.bytes = uint64_t(n) * sizeof(double);
 
   // Stage 1: forward wavelet transform.
   Timer timer;
-  std::vector<double> coeffs(data, data + n);
-  wavelet::forward_dwt(coeffs.data(), dims);
+  double* coeffs = a.alloc<double>(n);
+  std::copy(data, data + n, coeffs);
+  wavelet::forward_dwt(coeffs, dims, wavelet::Kernel::cdf97, &a);
   result.timing.transform_s = timer.seconds();
 
   // Stage 2: SPECK-code all bitplanes down to the quantization step q. The
@@ -29,13 +34,13 @@ ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
   // reconstruction so stage 3 need not decode the stream it just built.
   timer.reset();
   std::vector<double> recon;
-  result.speck = speck::encode(coeffs.data(), dims, q, 0, nullptr, &recon);
+  result.speck = speck::encode(coeffs, dims, q, 0, nullptr, &recon);
   result.timing.speck_s = timer.seconds();
 
   // Stage 3: locate outliers — inverse transform plus a comparison with the
   // original input (paper §V-C stage 3).
   timer.reset();
-  wavelet::inverse_dwt(recon.data(), dims);
+  wavelet::inverse_dwt(recon.data(), dims, wavelet::Kernel::cdf97, &a);
   std::vector<outlier::Outlier> outliers;
   for (size_t i = 0; i < n; ++i) {
     const double err = data[i] - recon[i];
@@ -55,34 +60,44 @@ ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
   return result;
 }
 
-ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits) {
+ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
+                              Arena* arena) {
   ChunkStream result;
   const size_t n = dims.total();
+  Arena& a = arena ? *arena : tls_arena();
+  Arena::Scope scope(a);
+  result.timing.bytes = uint64_t(n) * sizeof(double);
 
   Timer timer;
-  std::vector<double> coeffs(data, data + n);
-  wavelet::forward_dwt(coeffs.data(), dims);
+  double* coeffs = a.alloc<double>(n);
+  std::copy(data, data + n, coeffs);
+  wavelet::forward_dwt(coeffs, dims, wavelet::Kernel::cdf97, &a);
   result.timing.transform_s = timer.seconds();
 
   // Pick q far below the coefficient scale so the bit budget, not the
   // quantization floor, terminates coding (~50 bitplanes available).
   double max_mag = 0.0;
-  for (const double c : coeffs) max_mag = std::max(max_mag, std::fabs(c));
+  for (size_t i = 0; i < n; ++i) max_mag = std::max(max_mag, std::fabs(coeffs[i]));
   const double q = max_mag > 0.0 ? std::ldexp(max_mag, -50) : 1.0;
 
   timer.reset();
-  result.speck = speck::encode(coeffs.data(), dims, q, budget_bits);
+  result.speck = speck::encode(coeffs, dims, q, budget_bits);
   result.timing.speck_s = timer.seconds();
   return result;
 }
 
-ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target) {
+ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target,
+                               Arena* arena) {
   ChunkStream result;
   const size_t n = dims.total();
+  Arena& a = arena ? *arena : tls_arena();
+  Arena::Scope scope(a);
+  result.timing.bytes = uint64_t(n) * sizeof(double);
 
   Timer timer;
-  std::vector<double> coeffs(data, data + n);
-  wavelet::forward_dwt(coeffs.data(), dims);
+  double* coeffs = a.alloc<double>(n);
+  std::copy(data, data + n, coeffs);
+  wavelet::forward_dwt(coeffs, dims, wavelet::Kernel::cdf97, &a);
   result.timing.transform_s = timer.seconds();
 
   // Unit-norm near-orthogonal basis: coefficient-domain RMSE ~ output RMSE
@@ -92,7 +107,7 @@ ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target
   const double q = rmse_target * std::sqrt(12.0) * 0.5;
 
   timer.reset();
-  result.speck = speck::encode(coeffs.data(), dims, q);
+  result.speck = speck::encode(coeffs, dims, q);
   result.timing.speck_s = timer.seconds();
   return result;
 }
@@ -125,20 +140,28 @@ Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
   return Status::ok;
 }
 
-Status decode(const std::vector<uint8_t>& speck_stream,
-              const std::vector<uint8_t>& outlier_stream, Dims dims, double* out) {
-  const Status s = speck::decode(speck_stream.data(), speck_stream.size(), dims, out);
+Status decode(const uint8_t* speck_stream, size_t speck_len,
+              const uint8_t* outlier_stream, size_t outlier_len, Dims dims,
+              double* out, Arena* arena) {
+  Arena& a = arena ? *arena : tls_arena();
+  Arena::Scope scope(a);
+  const Status s = speck::decode(speck_stream, speck_len, dims, out);
   if (s != Status::ok) return s;
-  wavelet::inverse_dwt(out, dims);
+  wavelet::inverse_dwt(out, dims, wavelet::Kernel::cdf97, &a);
 
-  if (!outlier_stream.empty()) {
+  if (outlier_len != 0) {
     std::vector<outlier::Outlier> outliers;
-    const Status so =
-        outlier::decode(outlier_stream.data(), outlier_stream.size(), dims.total(), outliers);
+    const Status so = outlier::decode(outlier_stream, outlier_len, dims.total(), outliers);
     if (so != Status::ok) return so;
     for (const auto& o : outliers) out[o.pos] += o.corr;
   }
   return Status::ok;
+}
+
+Status decode(const std::vector<uint8_t>& speck_stream,
+              const std::vector<uint8_t>& outlier_stream, Dims dims, double* out) {
+  return decode(speck_stream.data(), speck_stream.size(), outlier_stream.data(),
+                outlier_stream.size(), dims, out);
 }
 
 }  // namespace sperr::pipeline

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/types.h"
 #include "outlier/coder.h"
 #include "sperr/config.h"
@@ -30,19 +31,29 @@ struct ChunkStream {
 /// coefficient/outlier balance. `capture_outliers`, when non-null, receives
 /// the located outlier list (positions in linearized order) — used by the
 /// Fig. 1 / Fig. 11 analyses.
+///
+/// All encode/decode entry points take an optional scratch `arena` for
+/// their large transient buffers (coefficient copy, wavelet tiles). The
+/// chunked drivers pass each OpenMP worker's tls_arena() so steady-state
+/// chunk iterations allocate nothing; standalone callers may pass nullptr
+/// (the calling thread's arena is used). The arena is rewound, not reset:
+/// allocations the caller made before the call survive.
 ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
                        double q_over_t,
-                       std::vector<outlier::Outlier>* capture_outliers = nullptr);
+                       std::vector<outlier::Outlier>* capture_outliers = nullptr,
+                       Arena* arena = nullptr);
 
 /// Size-bounded encode: the SPECK stream is truncated at `budget_bits`.
 /// No outlier correction (no error bound), matching classic SPECK / the
 /// paper's fixed-size mode.
-ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits);
+ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
+                              Arena* arena = nullptr);
 
 /// Average-error-targeted encode (paper §VII): pick the quantization step
 /// from the RMSE target via the unit-norm wavelet's error equivalence; all
 /// bitplanes down to that step are coded, no outlier pass.
-ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target);
+ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target,
+                               Arena* arena = nullptr);
 
 /// Multi-level decode (paper §VII): reconstruct the chunk at a coarsened
 /// resolution by stopping the inverse wavelet recursion `drop_levels` early
@@ -54,7 +65,14 @@ Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
                      size_t drop_levels, std::vector<double>& out,
                      Dims& coarse_dims);
 
-/// Decode one chunk (either mode) into `out` (dims.total() doubles).
+/// Decode one chunk (either mode) into `out` (dims.total() doubles). The
+/// stream views are borrowed, not copied — they only need to stay alive for
+/// the duration of the call.
+Status decode(const uint8_t* speck_stream, size_t speck_len,
+              const uint8_t* outlier_stream, size_t outlier_len, Dims dims,
+              double* out, Arena* arena = nullptr);
+
+/// Convenience overload over owned streams.
 Status decode(const std::vector<uint8_t>& speck_stream,
               const std::vector<uint8_t>& outlier_stream, Dims dims, double* out);
 

@@ -32,6 +32,25 @@ void cdf97_analysis(double* x, size_t n, double* scratch);
 /// Inverse of cdf97_analysis (exact up to floating-point rounding).
 void cdf97_synthesis(double* x, size_t n, double* scratch);
 
+/// Batched forward pass on `nb` lines of length `n` stored as an SoA tile:
+/// tile[i * nb + j] is sample i of line j, so every lifting step is a
+/// contiguous, independent sweep over the nb lanes and auto-vectorizes.
+/// Performs per lane exactly the operations of cdf97_analysis — output is
+/// bit-identical to nb per-line calls. `scratch` must hold n * nb doubles.
+/// Returns the buffer holding the result (`scratch`, or `tile` for no-op
+/// lines); both buffers are clobbered.
+double* cdf97_analysis_batch(double* tile, size_t n, size_t nb, double* scratch);
+
+/// Inverse of cdf97_analysis_batch; bit-identical to per-line synthesis.
+/// Same result-buffer convention.
+double* cdf97_synthesis_batch(double* tile, size_t n, size_t nb, double* scratch);
+
+/// SoA-tile de-interleave / re-interleave (evens to the front lanes-wise),
+/// shared by every batched kernel. Writes the permuted tile to `out`
+/// (n * nb doubles, no overlap with `tile`).
+void deinterleave_batch(const double* tile, size_t n, size_t nb, double* out);
+void interleave_batch(const double* tile, size_t n, size_t nb, double* out);
+
 /// Dyadic level policy from the paper: min(6, floor(log2 n) - 2), i.e. no
 /// transform for lines shorter than 8 samples.
 size_t num_levels(size_t n);

@@ -28,6 +28,15 @@ void line_analysis(Kernel k, double* x, size_t n, double* scratch);
 /// Exact inverse of line_analysis.
 void line_synthesis(Kernel k, double* x, size_t n, double* scratch);
 
+/// Batched forward pass on `nb` lines in an SoA tile (tile[i * nb + j] is
+/// sample i of lane j; see cdf97_analysis_batch). Bit-identical per lane to
+/// nb line_analysis calls; `scratch` must hold n * nb doubles. Returns the
+/// buffer holding the result (tile or scratch); both are clobbered.
+double* batch_analysis(Kernel k, double* tile, size_t n, size_t nb, double* scratch);
+
+/// Exact inverse of batch_analysis (bit-identical to per-line synthesis).
+double* batch_synthesis(Kernel k, double* tile, size_t n, size_t nb, double* scratch);
+
 [[nodiscard]] const char* to_string(Kernel k);
 
 }  // namespace sperr::wavelet

@@ -1,0 +1,122 @@
+// Invariants of the per-thread scratch arena the chunked hot paths rely on:
+// alignment of every pointer, non-moving growth, Scope rewind semantics, and
+// the coalescing reset() that makes steady-state chunk loops allocation-free.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/arena.h"
+
+namespace sperr {
+namespace {
+
+bool aligned(const void* p) {
+  return reinterpret_cast<uintptr_t>(p) % Arena::kAlignment == 0;
+}
+
+TEST(Arena, EveryPointerIsCacheLineAligned) {
+  Arena a;
+  // Deliberately odd sizes so round-up is exercised, plus a zero-byte ask.
+  for (const size_t bytes : {1ul, 3ul, 63ul, 64ul, 65ul, 1000ul, 0ul}) {
+    void* p = a.allocate(bytes);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(aligned(p)) << "allocate(" << bytes << ")";
+  }
+  EXPECT_TRUE(aligned(a.alloc<double>(17)));
+  EXPECT_TRUE(aligned(a.alloc<uint8_t>(1)));
+}
+
+TEST(Arena, GrowthDoesNotMoveLiveAllocations) {
+  Arena a;
+  double* first = a.alloc<double>(100);
+  for (size_t i = 0; i < 100; ++i) first[i] = double(i) * 0.5;
+
+  // Force several growth blocks while `first` is live.
+  for (int i = 0; i < 8; ++i) a.alloc<double>(1 << 16);
+
+  for (size_t i = 0; i < 100; ++i)
+    ASSERT_EQ(first[i], double(i) * 0.5) << "growth moved or clobbered data";
+}
+
+TEST(Arena, ScopeRewindsNestedAllocationsOnly) {
+  Arena a;
+  double* outer = a.alloc<double>(8);
+  outer[0] = 42.0;
+  const size_t used_outer = a.used();
+
+  {
+    Arena::Scope s(a);
+    double* inner = a.alloc<double>(1 << 15);  // forces growth mid-scope
+    inner[0] = 1.0;
+    EXPECT_GT(a.used(), used_outer);
+  }
+  EXPECT_EQ(a.used(), used_outer);
+  EXPECT_EQ(outer[0], 42.0);
+
+  // Space released by the scope is reusable without new system allocations.
+  const size_t allocs = a.system_alloc_count();
+  a.alloc<double>(1 << 15);
+  EXPECT_EQ(a.system_alloc_count(), allocs);
+}
+
+TEST(Arena, ResetCoalescesBlocksAndRetainsCapacity) {
+  Arena a;
+  // Provoke multiple blocks.
+  a.alloc<double>(1 << 13);
+  a.alloc<double>(1 << 14);
+  a.alloc<double>(1 << 15);
+  a.alloc<double>(1 << 16);
+  const size_t cap = a.capacity();
+  ASSERT_GT(cap, 0u);
+
+  a.reset();
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_GE(a.capacity(), cap) << "reset must not shrink capacity";
+
+  // A second reset on the now-single block must not re-allocate.
+  const size_t allocs = a.system_alloc_count();
+  a.reset();
+  EXPECT_EQ(a.system_alloc_count(), allocs);
+}
+
+TEST(Arena, SteadyStateWorkloadIsAllocationFree) {
+  // Model a chunk loop: same allocation pattern every iteration, reset in
+  // between. After one warm-up + reset (which coalesces), the system
+  // allocation count must freeze.
+  Arena a;
+  auto iteration = [&a] {
+    a.alloc<double>(4096);
+    {
+      Arena::Scope s(a);
+      a.alloc<double>(32 * 256);
+      a.alloc<double>(32 * 256);
+    }
+    a.alloc<uint8_t>(513);
+    a.reset();
+  };
+
+  iteration();  // warm-up: grows and coalesces
+  iteration();  // single-block steady state reached
+  const size_t allocs = a.system_alloc_count();
+  for (int i = 0; i < 16; ++i) iteration();
+  EXPECT_EQ(a.system_alloc_count(), allocs);
+}
+
+TEST(Arena, PreSizedConstructorAvoidsGrowth) {
+  Arena a(1 << 20);
+  const size_t allocs = a.system_alloc_count();
+  EXPECT_EQ(allocs, 1u);
+  a.alloc<double>((1 << 20) / sizeof(double));
+  EXPECT_EQ(a.system_alloc_count(), allocs);
+}
+
+TEST(Arena, TlsArenaIsPerThreadAndPersistent) {
+  Arena& first = tls_arena();
+  Arena& second = tls_arena();
+  EXPECT_EQ(&first, &second);
+}
+
+}  // namespace
+}  // namespace sperr
