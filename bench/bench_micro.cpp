@@ -7,6 +7,8 @@
 // machine-readable JSON file (the PR-over-PR perf trail; CI uploads it as
 // an artifact):
 //   bench_micro --wavelet_json=BENCH_wavelet.json [--wavelet_n=256]
+// A third mode does the same for the flattened-vs-reference SPECK coder:
+//   bench_micro --speck_json=BENCH_speck.json [--speck_n=256]
 
 #include <benchmark/benchmark.h>
 
@@ -122,6 +124,35 @@ void BM_SpeckDecode(benchmark::State& state) {
   state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
 }
 BENCHMARK(BM_SpeckDecode)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SpeckEncode_Reference(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  const double q = std::ldexp(1.0e6, -int(state.range(0)));
+  for (auto _ : state) {
+    auto stream = sperr::speck::encode_reference(coeffs.data(), dims, q);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_SpeckEncode_Reference)->Arg(10)->Arg(20)->Arg(30);
+
+void BM_SpeckDecode_Reference(benchmark::State& state) {
+  const Dims dims{64, 64, 64};
+  auto coeffs = test_volume(dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), dims);
+  const double q = std::ldexp(1.0e6, -int(state.range(0)));
+  const auto stream = sperr::speck::encode(coeffs.data(), dims, q);
+  std::vector<double> out(coeffs.size());
+  for (auto _ : state) {
+    (void)sperr::speck::decode_reference(stream.data(), stream.size(), dims,
+                                         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(coeffs.size()));
+}
+BENCHMARK(BM_SpeckDecode_Reference)->Arg(10)->Arg(20)->Arg(30);
 
 void BM_OutlierEncode(benchmark::State& state) {
   sperr::Rng rng(1);
@@ -274,12 +305,131 @@ int write_wavelet_json(const std::string& path, size_t n, int repeats) {
   return 0;
 }
 
+// --- BENCH_speck.json: flattened-vs-reference SPECK speedup record ---------
+
+struct SpeckRecord {
+  Dims dims;
+  int repeats = 3;
+  size_t planes = 0;
+  size_t payload_bits = 0;
+  double ref_encode_s = 0.0;   // best-of-repeats, recursive reference coder
+  double ref_decode_s = 0.0;
+  double fast_encode_s = 0.0;  // flattened production coder
+  double fast_decode_s = 0.0;
+  bool bit_identical = false;
+};
+
+SpeckRecord run_speck_record(size_t n, int repeats) {
+  using namespace sperr::speck;
+  SpeckRecord rec;
+  rec.dims = Dims{n, n, n};
+  rec.repeats = repeats;
+
+  auto coeffs = sperr::data::miranda_pressure(rec.dims);
+  sperr::wavelet::forward_dwt(coeffs.data(), rec.dims);
+  double max_mag = 0.0;
+  for (const double c : coeffs) max_mag = std::max(max_mag, std::fabs(c));
+  const double q = std::ldexp(max_mag, -20);  // ~20 bitplanes of payload
+
+  // Equivalence first: streams byte-identical, decodes bit-identical, stats
+  // equal. The speedup claim is meaningless without this.
+  EncodeStats ref_stats, fast_stats;
+  const auto ref_stream = encode_reference(coeffs.data(), rec.dims, q, 0, &ref_stats);
+  const auto fast_stream = encode(coeffs.data(), rec.dims, q, 0, &fast_stats);
+  std::vector<double> ref_out(coeffs.size()), fast_out(coeffs.size());
+  (void)decode_reference(ref_stream.data(), ref_stream.size(), rec.dims, ref_out.data());
+  (void)decode(fast_stream.data(), fast_stream.size(), rec.dims, fast_out.data());
+  rec.bit_identical =
+      fast_stream == ref_stream &&
+      fast_stats.payload_bits == ref_stats.payload_bits &&
+      fast_stats.planes_coded == ref_stats.planes_coded &&
+      fast_stats.significant_count == ref_stats.significant_count &&
+      std::memcmp(fast_out.data(), ref_out.data(),
+                  ref_out.size() * sizeof(double)) == 0;
+  rec.planes = fast_stats.planes_coded;
+  rec.payload_bits = fast_stats.payload_bits;
+
+  sperr::Timer timer;
+  rec.ref_encode_s = rec.ref_decode_s = 1e300;
+  rec.fast_encode_s = rec.fast_decode_s = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    timer.reset();
+    auto s = encode_reference(coeffs.data(), rec.dims, q);
+    rec.ref_encode_s = std::min(rec.ref_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
+    s = encode(coeffs.data(), rec.dims, q);
+    rec.fast_encode_s = std::min(rec.fast_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
+    (void)decode_reference(ref_stream.data(), ref_stream.size(), rec.dims,
+                           ref_out.data());
+    rec.ref_decode_s = std::min(rec.ref_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(ref_out.data());
+
+    timer.reset();
+    (void)decode(fast_stream.data(), fast_stream.size(), rec.dims, fast_out.data());
+    rec.fast_decode_s = std::min(rec.fast_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(fast_out.data());
+  }
+  return rec;
+}
+
+int write_speck_json(const std::string& path, size_t n, int repeats) {
+  const SpeckRecord rec = run_speck_record(n, repeats);
+  const double mvox_e = double(rec.dims.total()) / 1e6;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"benchmark\": \"speck_3d_encode_decode\",\n"
+      "  \"dims\": [%zu, %zu, %zu],\n"
+      "  \"repeats\": %d,\n"
+      "  \"planes\": %zu,\n"
+      "  \"payload_bits\": %zu,\n"
+      "  \"reference_encode_seconds\": %.6f,\n"
+      "  \"reference_decode_seconds\": %.6f,\n"
+      "  \"fast_encode_seconds\": %.6f,\n"
+      "  \"fast_decode_seconds\": %.6f,\n"
+      "  \"encode_speedup\": %.3f,\n"
+      "  \"decode_speedup\": %.3f,\n"
+      "  \"combined_speedup\": %.3f,\n"
+      "  \"fast_encode_mvox_s\": %.2f,\n"
+      "  \"fast_decode_mvox_s\": %.2f,\n"
+      "  \"bit_identical\": %s\n"
+      "}\n",
+      rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats, rec.planes,
+      rec.payload_bits, rec.ref_encode_s, rec.ref_decode_s, rec.fast_encode_s,
+      rec.fast_decode_s, rec.ref_encode_s / rec.fast_encode_s,
+      rec.ref_decode_s / rec.fast_decode_s,
+      (rec.ref_encode_s + rec.ref_decode_s) /
+          (rec.fast_encode_s + rec.fast_decode_s),
+      mvox_e / rec.fast_encode_s, mvox_e / rec.fast_decode_s,
+      rec.bit_identical ? "true" : "false");
+  out << buf;
+  std::printf("%s", buf);
+  // A fast coder that is not bit-identical to the reference is a correctness
+  // regression: fail so CI notices.
+  if (!rec.bit_identical) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string speck_json_path;
   size_t wavelet_n = 256;
+  size_t speck_n = 256;
   int repeats = 3;
+  int speck_repeats = 3;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -289,11 +439,19 @@ int main(int argc, char** argv) {
       wavelet_n = std::stoul(arg.substr(std::strlen("--wavelet_n=")));
     } else if (arg.rfind("--wavelet_repeats=", 0) == 0) {
       repeats = std::stoi(arg.substr(std::strlen("--wavelet_repeats=")));
+    } else if (arg.rfind("--speck_json=", 0) == 0) {
+      speck_json_path = arg.substr(std::strlen("--speck_json="));
+    } else if (arg.rfind("--speck_n=", 0) == 0) {
+      speck_n = std::stoul(arg.substr(std::strlen("--speck_n=")));
+    } else if (arg.rfind("--speck_repeats=", 0) == 0) {
+      speck_repeats = std::stoi(arg.substr(std::strlen("--speck_repeats=")));
     } else {
       passthrough.push_back(argv[i]);
     }
   }
   if (!json_path.empty()) return write_wavelet_json(json_path, wavelet_n, repeats);
+  if (!speck_json_path.empty())
+    return write_speck_json(speck_json_path, speck_n, speck_repeats);
 
   int pass_argc = int(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -1,15 +1,49 @@
 #include "common/bitstream.h"
 
+#include <algorithm>
+
 namespace sperr {
 
 void BitWriter::put_bits(uint64_t value, unsigned count) {
-  for (unsigned i = 0; i < count; ++i) put((value >> i) & 1u);
+  if (count == 0) return;
+  if (count < 64) value &= (uint64_t(1) << count) - 1;
+  const unsigned used = unsigned(nbit_ % 8);
+  nbit_ += count;
+  if (used != 0) {
+    // Top up the partially filled last byte first.
+    bytes_.back() |= uint8_t(value << used);
+    const unsigned space = 8 - used;
+    if (count <= space) return;
+    value >>= space;
+    count -= space;
+  }
+  // Byte-aligned from here: emit whole bytes, then the masked remainder
+  // (so trailing bits of the last byte stay zero, as put() guarantees).
+  while (count >= 8) {
+    bytes_.push_back(uint8_t(value));
+    value >>= 8;
+    count -= 8;
+  }
+  if (count != 0) bytes_.push_back(uint8_t(value));
 }
 
 uint64_t BitReader::get_bits(unsigned count) {
+  if (count == 0) return 0;
+  const size_t avail = pos_ < nbits_ ? nbits_ - pos_ : 0;
+  const unsigned take = count <= avail ? count : unsigned(std::min<size_t>(avail, 64));
+  if (take < count) exhausted_ = true;  // missing bits read as zero
   uint64_t v = 0;
-  for (unsigned i = 0; i < count; ++i)
-    if (get()) v |= uint64_t(1) << i;
+  unsigned got = 0;
+  size_t p = pos_;
+  while (got < take) {
+    const unsigned off = unsigned(p % 8);
+    const unsigned chunk = std::min(8 - off, take - got);
+    const unsigned bits = (unsigned(data_[p / 8]) >> off) & ((1u << chunk) - 1u);
+    v |= uint64_t(bits) << got;
+    got += chunk;
+    p += chunk;
+  }
+  pos_ += take;
   return v;
 }
 

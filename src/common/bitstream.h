@@ -22,8 +22,14 @@ class BitWriter {
     ++nbit_;
   }
 
-  /// Append `count` bits of `value`, least-significant bit first.
+  /// Append `count` (<= 64) bits of `value`, least-significant bit first.
+  /// Bits of `value` above `count` are ignored. Byte-at-a-time internally,
+  /// so batching emission through this path (e.g. SPECK's refinement pass)
+  /// costs ~1/8 of the equivalent put() loop.
   void put_bits(uint64_t value, unsigned count);
+
+  /// Append a full 64-bit word, least-significant bit first.
+  void put_word(uint64_t value) { put_bits(value, 64); }
 
   [[nodiscard]] size_t bit_count() const { return nbit_; }
   [[nodiscard]] size_t byte_count() const { return bytes_.size(); }
@@ -58,7 +64,9 @@ class BitReader {
     return bit;
   }
 
-  /// Read `count` bits, least-significant first. Missing bits read as zero.
+  /// Read `count` (<= 64) bits, least-significant first. Missing bits read
+  /// as zero (latching exhausted(), like get()). Byte-at-a-time internally —
+  /// the word-batched counterpart of get() for refinement-style bulk reads.
   [[nodiscard]] uint64_t get_bits(unsigned count);
 
   [[nodiscard]] bool exhausted() const { return exhausted_; }

@@ -1,36 +1,43 @@
+// Production SPECK decoder: flattened counterpart of encoder.cpp. The set
+// hierarchy is precomputed once into the SetTree (identical to the
+// encoder's, since it depends only on the extents), so the per-plane
+// traversal walks packed node ids instead of re-deriving box splits, and
+// refinement-pass bits are consumed word-at-a-time. Mirrors the reference
+// decoder's traversal (including the deducible-significance rule and
+// truncated-stream semantics) bit for bit.
+//
+// Significant-coefficient state lives in LSP order, not coefficient order:
+// parallel arrays of sign-tagged indices and reconstruction values appended
+// at discovery. The refinement pass — the dominant cost at deep bitplanes —
+// then updates a contiguous value array instead of scattering into a
+// dims.total()-sized buffer, and the final coefficient write-out is a single
+// scatter. The per-entry arithmetic (1.5*thrd seed, +/- thrd/2 refinements)
+// is unchanged, so reconstructions stay bit-identical to the reference.
+
 #include "speck/decoder.h"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/bitstream.h"
+#include "speck/settree.h"
 
 namespace sperr::speck {
 
 namespace {
 
-struct SetEntry {
-  Box box;
-  uint32_t depth;
-};
-
-class Decoder {
+class FastDecoder {
  public:
-  Decoder(BitReader br, Dims dims, const Header& hdr)
+  FastDecoder(BitReader br, Dims dims, const Header& hdr)
       : br_(br), dims_(dims), hdr_(hdr) {}
 
   Status run(double* coeffs, DecodeStats* stats) {
     const size_t n = dims_.total();
-    value_.assign(n, 0.0);
-    neg_.assign(n, 0);
 
     if (hdr_.n_max >= 0) {
+      tree_.build(dims_);
       lis_.resize(max_depth(dims_) + 1);
-      Box root;
-      root.nx = uint32_t(dims_.x);
-      root.ny = uint32_t(dims_.y);
-      root.nz = uint32_t(dims_.z);
-      lis_[0].push_back({root, 0});
+      lis_[0].push_back(0);  // root node id
 
       for (int32_t p = hdr_.n_max; p >= 0 && !done_; --p) {
         const double thrd = std::ldexp(1.0, p);
@@ -40,18 +47,36 @@ class Decoder {
       }
     }
 
-    for (size_t i = 0; i < n; ++i)
-      coeffs[i] = (neg_[i] ? -value_[i] : value_[i]) * hdr_.q;
+    // Dead-zone coefficients are exact zeros; scatter the refined values
+    // over them. Same per-element expression as the reference's write-out.
+    std::fill(coeffs, coeffs + n, 0.0);
+    auto emit = [&](const std::vector<uint32_t>& sidx,
+                    const std::vector<double>& val) {
+      for (size_t j = 0; j < sidx.size(); ++j) {
+        const uint32_t idx = sidx[j] & kIdxMask;
+        coeffs[idx] = (sidx[j] >> 31 ? -val[j] : val[j]) * hdr_.q;
+      }
+    };
+    emit(lsp_sidx_, lsp_val_);
+    emit(lnsp_sidx_, lnsp_val_);
 
     if (stats) {
       stats->bits_consumed = br_.bits_read();
-      stats->significant_count = lsp_.size() + lnsp_.size();
+      stats->significant_count = lsp_sidx_.size() + lnsp_sidx_.size();
       stats->truncated = done_;
     }
     return Status::ok;
   }
 
  private:
+  static constexpr uint32_t kIdxMask = 0x7fffffffu;  ///< sign rides in bit 31
+
+  struct Frame {
+    uint32_t node;
+    uint8_t next;
+    bool any_sig;
+  };
+
   [[nodiscard]] bool get(bool& bit) {
     bit = br_.get();
     if (br_.exhausted()) {
@@ -63,56 +88,86 @@ class Decoder {
 
   void sorting_pass(double thrd) {
     for (size_t d = lis_.size(); d-- > 0;) {
-      auto pending = std::move(lis_[d]);
-      lis_[d].clear();
-      for (auto& e : pending) {
-        process(e, thrd);
-        if (done_) {
-          // Preserve the rest for consistency (decoding ends regardless).
-          return;
-        }
+      pending_.clear();
+      pending_.swap(lis_[d]);
+      for (uint32_t id : pending_) {
+        process_entry(id, uint32_t(d), thrd);
+        if (done_) return;
       }
     }
   }
 
-  /// Mirror of the encoder's process(), including the deducible-significance
-  /// case where the last child of a significant parent with all-insignificant
-  /// siblings carries no significance bit. Returns set significance.
-  bool process(SetEntry& e, double thrd, bool known_sig = false) {
-    bool sig = true;
-    if (!known_sig && !get(sig)) return false;
+  /// Mirror of the encoder's process_entry(): significance bits come from
+  /// the stream instead of the max tree; everything else — DFS order, LIS
+  /// bucketing, the deducible-last-child rule, stop-on-exhaustion — is the
+  /// same state machine.
+  void process_entry(uint32_t id, uint32_t depth, double thrd) {
+    bool sig;
+    if (!get(sig)) return;
     if (!sig) {
-      lis_[e.depth].push_back(e);
-      return false;
+      lis_[depth].push_back(id);
+      return;
     }
-    if (e.box.is_single()) {
-      bool negative;
-      if (!get(negative)) return true;
-      const uint64_t idx = dims_.index(e.box.x, e.box.y, e.box.z);
-      neg_[idx] = negative;
-      value_[idx] = 1.5 * thrd;  // center of (thrd, 2*thrd]
-      lnsp_.push_back(idx);
-      return true;
+    if (tree_.is_leaf(id)) {
+      found_significant(tree_.coeff_index(id), thrd);
+      return;
     }
-    Box children[8];
-    const int nc = split_box(e.box, children);
-    bool any_sig = false;
-    for (int i = 0; i < nc && !done_; ++i) {
-      SetEntry child{children[i], e.depth + 1};
-      const bool deducible = (i == nc - 1) && !any_sig;
-      any_sig |= process(child, thrd, deducible);
+    frames_.clear();
+    frames_.push_back({id, 0, false});
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      const uint32_t nc = tree_.child_count(f.node);
+      if (f.next == nc) {
+        frames_.pop_back();
+        continue;
+      }
+      const uint32_t child = tree_.first_child(f.node) + f.next;
+      const bool last = ++f.next == nc;
+      const bool deducible = last && !f.any_sig;
+      bool csig = true;
+      if (!deducible && !get(csig)) return;
+      f.any_sig |= csig;
+      if (!csig) {
+        lis_[depth + frames_.size()].push_back(child);
+        continue;
+      }
+      if (tree_.is_leaf(child)) {
+        found_significant(tree_.coeff_index(child), thrd);
+        if (done_) return;
+        continue;
+      }
+      frames_.push_back({child, 0, false});
     }
-    return true;
+  }
+
+  void found_significant(uint32_t idx, double thrd) {
+    bool negative;
+    if (!get(negative)) return;  // sign bit missing: entry dropped, as reference
+    lnsp_sidx_.push_back(idx | (uint32_t(negative) << 31));
+    lnsp_val_.push_back(1.5 * thrd);  // center of (thrd, 2*thrd]
   }
 
   void refinement_pass(double thrd) {
-    for (uint64_t idx : lsp_) {
-      bool bit;
-      if (!get(bit)) return;
-      value_[idx] += bit ? thrd / 2.0 : -thrd / 2.0;
+    // Word-batched bit consumption over the contiguous value array. Stops
+    // exactly where the per-bit reference does — the first entry whose bit
+    // is missing gets no update and latches `done_`.
+    size_t i = 0;
+    const size_t count = lsp_val_.size();
+    while (i < count) {
+      const size_t avail = br_.bits_left();
+      if (avail == 0) {
+        done_ = true;
+        return;
+      }
+      const unsigned take = unsigned(std::min<size_t>({64, count - i, avail}));
+      uint64_t word = br_.get_bits(take);
+      for (unsigned b = 0; b < take; ++b, word >>= 1)
+        lsp_val_[i++] += (word & 1u) ? thrd / 2.0 : -thrd / 2.0;
     }
-    lsp_.insert(lsp_.end(), lnsp_.begin(), lnsp_.end());
-    lnsp_.clear();
+    lsp_sidx_.insert(lsp_sidx_.end(), lnsp_sidx_.begin(), lnsp_sidx_.end());
+    lsp_val_.insert(lsp_val_.end(), lnsp_val_.begin(), lnsp_val_.end());
+    lnsp_sidx_.clear();
+    lnsp_val_.clear();
   }
 
   BitReader br_;
@@ -120,11 +175,14 @@ class Decoder {
   Header hdr_;
   bool done_ = false;
 
-  std::vector<double> value_;
-  std::vector<uint8_t> neg_;
-  std::vector<std::vector<SetEntry>> lis_;
-  std::vector<uint64_t> lsp_;
-  std::vector<uint64_t> lnsp_;
+  SetTree tree_;  ///< structure only (planes are the encoder's side)
+  std::vector<std::vector<uint32_t>> lis_;  ///< packed node ids, by depth
+  std::vector<uint32_t> pending_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> lsp_sidx_;  ///< sign<<31 | coefficient index
+  std::vector<double> lsp_val_;     ///< reconstruction magnitude, scaled units
+  std::vector<uint32_t> lnsp_sidx_;
+  std::vector<double> lnsp_val_;
 };
 
 }  // namespace
@@ -134,6 +192,12 @@ Status decode(const uint8_t* stream,
               Dims dims,
               double* coeffs,
               DecodeStats* stats) {
+  // Node ids in the flattened tree are uint32 (and coefficient indices carry
+  // their sign in bit 31); beyond this fall back to the reference coder
+  // (mirrors speck::encode).
+  if (dims.total() >= (size_t(1) << 31))
+    return decode_reference(stream, nbytes, dims, coeffs, stats);
+
   ByteReader hr(stream, nbytes);
   Header hdr;
   if (const Status s = hdr.deserialize(hr); s != Status::ok) return s;
@@ -144,7 +208,7 @@ Status decode(const uint8_t* stream,
   const uint64_t nbits = std::min<uint64_t>(hdr.nbits, payload_bytes * 8);
 
   BitReader br(stream + hr.pos(), payload_bytes, nbits);
-  Decoder dec(br, dims, hdr);
+  FastDecoder dec(br, dims, hdr);
   return dec.run(coeffs, stats);
 }
 

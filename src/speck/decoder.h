@@ -27,4 +27,13 @@ Status decode(const uint8_t* stream,
               double* coeffs,
               DecodeStats* stats = nullptr);
 
+/// The original recursive decoder (reference.cpp), kept as the oracle for
+/// the flattened production decoder — identical output coefficients and
+/// DecodeStats for every stream, including truncated and corrupt ones.
+Status decode_reference(const uint8_t* stream,
+                        size_t nbytes,
+                        Dims dims,
+                        double* coeffs,
+                        DecodeStats* stats = nullptr);
+
 }  // namespace sperr::speck

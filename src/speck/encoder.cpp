@@ -1,90 +1,121 @@
+// Production SPECK encoder: flattened, batch-friendly rewrite of the
+// reference coder (reference.cpp), emitting bit-identical streams.
+//
+//   * The set hierarchy and every set's maximum significance plane are
+//     precomputed once into the contiguous SetTree (settree.h) — the
+//     per-plane significance test collapses from a lazy strided box scan
+//     plus a double compare to one int16 load and compare.
+//   * The recursive set descent becomes an iterative worklist: LIS buckets
+//     hold packed 4-byte node ids instead of 40-byte box entries, and the
+//     within-pass descent runs on an explicit frame stack in DFS order (the
+//     reference's recursion order), preserving the deducible-significance
+//     rule bit for bit.
+//   * Refinement-pass bits are precomputed: when a coefficient turns
+//     significant at plane p, its entire future refinement bit sequence is
+//     captured as one integer (see found_significant for the derivation
+//     from the reference's strict-> residual chain). Each refinement pass
+//     is then a read-only scan extracting bit n from a packed uint64 per
+//     entry, batched into 64-bit words through BitWriter's word path. The
+//     budgeted mode (and the out-of-range >50-plane case) keeps the
+//     reference's per-bit residual walk to stop on the exact budget bit.
+//
+// tests/test_speck_fast.cpp holds this coder to bit-identical streams and
+// equal EncodeStats against encode_reference across shapes and modes.
+
 #include "speck/encoder.h"
 
 #include <algorithm>
 #include <cmath>
 
 #include "common/bitstream.h"
+#include "speck/settree.h"
 
 namespace sperr::speck {
 
 namespace {
 
-/// A set awaiting significance in the LIS. `max_mag` caches the set's
-/// maximum scaled magnitude (negative = not yet computed); computing it
-/// lazily on first test keeps total work at O(N · depth) without a
-/// precomputed max tree.
-struct SetEntry {
-  Box box;
-  uint32_t depth;
-  double max_mag = -1.0;
-};
-
-class Encoder {
+class FastEncoder {
  public:
-  Encoder(const double* coeffs, Dims dims, double q, size_t budget_bits)
-      : dims_(dims), q_(q), budget_(budget_bits) {
+  FastEncoder(const double* coeffs, Dims dims, double q, size_t budget_bits)
+      : coeffs_(coeffs), dims_(dims), q_(q), budget_(budget_bits) {
     const size_t n = dims.total();
-    mag_.resize(n);
-    neg_.resize(n);
-    double max_m = 0.0;
+    // One linear scan: per-coefficient significance planes (consumed by the
+    // tree fill below) and the squared-magnitude sum for estimated_rmse().
+    // Same expressions in the same order as the reference, so the
+    // accumulated double is bit-identical.
+    coeff_planes_.resize(n);
+    int16_t max_plane = kDeadPlane;
     for (size_t i = 0; i < n; ++i) {
-      const double c = coeffs[i];
-      neg_[i] = std::signbit(c);
-      const double m = std::fabs(c) / q;
-      mag_[i] = m;
+      const double m = std::fabs(coeffs[i]) / q;
       mag_sq_sum_ += m * m;
-      if (m > max_m) max_m = m;
+      const int16_t p = plane_of(m);
+      coeff_planes_[i] = p;
+      if (p > max_plane) max_plane = p;
     }
-    // Top bitplane: the largest n >= 0 with 2^n < max magnitude. If even the
-    // largest magnitude is inside the dead zone nothing is ever coded.
-    n_max_ = -1;
-    if (max_m > 1.0) {
-      n_max_ = 0;
-      while (std::ldexp(1.0, n_max_ + 1) < max_m) ++n_max_;
+    // plane_of(max m) == max plane_of(m): same top plane as the reference's
+    // `largest n with 2^n < max magnitude` search.
+    n_max_ = max_plane;
+
+    if (n_max_ >= 0) {
+      tree_.build(dims);
+      tree_.fill_planes(coeff_planes_.data());
+      std::vector<int16_t>().swap(coeff_planes_);  // leaf planes live in the tree now
     }
+
+    // The packed-integer refinement path holds a coefficient's whole bit
+    // sequence (up to n_max_ bits) in a uint64 and reconstructs recon/
+    // residual in closed form; both need the refined span to stay well
+    // inside double precision. 50 planes covers every real mode (fixed-rate
+    // picks q = max*2^-50); beyond that, and in budgeted mode (which must
+    // stop on an exact mid-pass bit), use the reference's residual walk.
+    int_path_ = budget_ == 0 && n_max_ <= 50;
   }
 
-  /// Coefficient-domain RMSE of the quantization, from encoder state only:
-  /// coded coefficients err by |mag - recon|, dead-zone ones by their full
-  /// magnitude (they reconstruct to zero).
   [[nodiscard]] double estimated_rmse() const {
     double sq = mag_sq_sum_;  // start with everything in the dead zone...
-    auto account = [&](const SigEntry& p) {
-      const double m = mag_[p.idx];
-      const double e = m - p.recon;
+    auto account = [&](double m, double recon) {
+      const double e = m - recon;
       sq += e * e - m * m;  // ...and swap coded ones to their true error
     };
-    for (const auto& p : lsp_) account(p);
-    for (const auto& p : lnsp_) account(p);
+    if (int_path_) {
+      // Unbudgeted runs refine every LSP entry down to plane 0 and finish
+      // with an empty LNSP, so every recon has the closed form below.
+      for (size_t j = 0; j < lsp_idx_.size(); ++j) {
+        const double m = mag(lsp_idx_[j]);
+        account(m, final_recon(m, lsp_v_[j]));
+      }
+    } else {
+      for (const auto& p : lsp_) account(mag(p.idx), p.recon);
+      for (const auto& p : lnsp_) account(mag(p.idx), p.recon);
+    }
     const size_t n = dims_.total();
     return n ? q_ * std::sqrt(std::max(sq, 0.0) / double(n)) : 0.0;
   }
 
-  /// Fill `out` with the reconstruction a decoder of the full stream
-  /// produces (dead-zone coefficients are zero).
   void export_recon(std::vector<double>& out) const {
     out.assign(dims_.total(), 0.0);
-    auto emit = [&](const SigEntry& p) {
-      out[p.idx] = (neg_[p.idx] ? -p.recon : p.recon) * q_;
+    auto emit = [&](uint64_t idx, double recon) {
+      out[idx] = (std::signbit(coeffs_[idx]) ? -recon : recon) * q_;
     };
-    for (const auto& p : lsp_) emit(p);
-    for (const auto& p : lnsp_) emit(p);
+    if (int_path_) {
+      for (size_t j = 0; j < lsp_idx_.size(); ++j)
+        emit(lsp_idx_[j], final_recon(mag(lsp_idx_[j]), lsp_v_[j]));
+    } else {
+      for (const auto& p : lsp_) emit(p.idx, p.recon);
+      for (const auto& p : lnsp_) emit(p.idx, p.recon);
+    }
   }
 
   std::vector<uint8_t> run(EncodeStats* stats) {
     if (n_max_ >= 0) {
       lis_.resize(max_depth(dims_) + 1);
-      Box root;
-      root.nx = uint32_t(dims_.x);
-      root.ny = uint32_t(dims_.y);
-      root.nz = uint32_t(dims_.z);
-      lis_[0].push_back({root, 0, -1.0});
+      lis_[0].push_back(0);  // root node id
 
       for (int32_t n = n_max_; n >= 0 && !budget_hit_; --n) {
         const double thrd = std::ldexp(1.0, n);
-        sorting_pass(thrd);
+        sorting_pass(n, thrd);
         if (budget_hit_) break;
-        refinement_pass(thrd);
+        refinement_pass(n, thrd);
       }
     }
 
@@ -95,7 +126,8 @@ class Encoder {
     if (stats) {
       stats->payload_bits = bw_.bit_count();
       stats->planes_coded = planes_;
-      stats->significant_count = lsp_.size() + lnsp_.size();
+      stats->significant_count = int_path_ ? lsp_idx_.size() + lnsp_idx_.size()
+                                          : lsp_.size() + lnsp_.size();
       stats->estimated_coeff_rmse = estimated_rmse();
     }
 
@@ -114,99 +146,195 @@ class Encoder {
     double recon;     ///< decoder-equivalent reconstruction (scaled units)
   };
 
+  /// Within-pass descent frame: a significant internal node whose children
+  /// are being examined. `next` is the child cursor, `any_sig` feeds the
+  /// deducible-last-child rule.
+  struct Frame {
+    uint32_t node;
+    uint8_t next;
+    bool any_sig;
+  };
+
+  [[nodiscard]] double mag(uint64_t idx) const {
+    return std::fabs(coeffs_[idx]) / q_;
+  }
+
   void put(bool bit) {
     bw_.put(bit);
     if (budget_ && bw_.bit_count() >= budget_) budget_hit_ = true;
   }
 
-  [[nodiscard]] double set_max(const Box& b) const {
-    double m = 0.0;
-    for (uint32_t z = b.z; z < b.z + b.nz; ++z)
-      for (uint32_t y = b.y; y < b.y + b.ny; ++y) {
-        const size_t row = dims_.index(b.x, y, z);
-        for (uint32_t x = 0; x < b.nx; ++x) m = std::max(m, mag_[row + x]);
+  void sorting_pass(int32_t n, double thrd) {
+    ++planes_;
+    // Deepest (smallest) sets first; children spawned by descents land in
+    // deeper buckets that were already swept, so every set is examined
+    // exactly once per plane — the reference's order.
+    for (size_t d = lis_.size(); d-- > 0;) {
+      pending_.clear();
+      pending_.swap(lis_[d]);
+      for (uint32_t id : pending_) {
+        process_entry(id, uint32_t(d), n, thrd);
+        if (budget_hit_) return;
       }
-    return m;
+    }
   }
 
-  void sorting_pass(double thrd) {
-    ++planes_;
-    // Smallest (deepest) sets first; children spawned by splits land in
-    // deeper buckets that have already been iterated this pass, so every set
-    // is examined exactly once per plane.
-    for (size_t d = lis_.size(); d-- > 0;) {
-      auto pending = std::move(lis_[d]);
-      lis_[d].clear();
-      for (auto& e : pending) {
-        process(e, thrd);
-        if (budget_hit_) {
-          // Keep the not-yet-visited entries so state stays consistent
-          // (encoding stops anyway; this matters only for stats).
-          return;
+  /// Examine one LIS entry: emit its significance bit, then — when
+  /// significant — run the reference's recursive descent iteratively, in
+  /// identical DFS order with the identical deducible-significance rule.
+  void process_entry(uint32_t id, uint32_t depth, int32_t n, double thrd) {
+    const bool sig = tree_.plane(id) >= n;
+    put(sig);
+    if (budget_hit_) return;
+    if (!sig) {
+      lis_[depth].push_back(id);
+      return;
+    }
+    if (tree_.is_leaf(id)) {
+      found_significant(tree_.coeff_index(id), thrd);
+      return;
+    }
+    frames_.clear();
+    frames_.push_back({id, 0, false});
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      const uint32_t nc = tree_.child_count(f.node);
+      if (f.next == nc) {
+        frames_.pop_back();
+        continue;
+      }
+      const uint32_t child = tree_.first_child(f.node) + f.next;
+      const bool last = ++f.next == nc;
+      // Last child of a parent with no significant sibling must itself be
+      // significant: no bit (encoder and decoder both deduce it).
+      const bool deducible = last && !f.any_sig;
+      bool csig = true;
+      if (!deducible) {
+        csig = tree_.plane(child) >= n;
+        put(csig);
+        if (budget_hit_) return;
+      }
+      f.any_sig |= csig;
+      if (!csig) {
+        // Child depth = entry depth + descent depth (frames_ holds its
+        // ancestors up to and including its parent).
+        lis_[depth + frames_.size()].push_back(child);
+        continue;
+      }
+      if (tree_.is_leaf(child)) {
+        found_significant(tree_.coeff_index(child), thrd);
+        if (budget_hit_) return;
+        continue;
+      }
+      frames_.push_back({child, 0, false});
+    }
+  }
+
+  /// A coefficient turning significant at plane p has magnitude
+  /// m in (2^p, 2^(p+1)], and the reference's refinement chain walks
+  /// r = m - 2^p down the planes emitting `r > 2^n` and subtracting on 1.
+  /// Every subtraction is exact (Sterbenz), so the emitted bits at planes
+  /// p-1..0 are exactly the binary digits of ceil(r0) - 1 with r0 = m - 2^p:
+  /// for r0 = I + f (integer I, fraction f > 0) strict > reads digit n of I;
+  /// for integral r0 = I the strict inequality shifts everything to I - 1.
+  /// That integer is captured once here; refinement passes just index it.
+  void found_significant(uint64_t idx, double thrd) {
+    put(std::signbit(coeffs_[idx]));
+    if (budget_hit_) return;  // sign bit emitted, entry dropped — as reference
+    if (int_path_) {
+      const double r0 = mag(idx) - thrd;  // exact: m in (thrd, 2*thrd]
+      lnsp_idx_.push_back(uint32_t(idx));
+      lnsp_v_.push_back(uint64_t(std::ceil(r0)) - 1);
+    } else {
+      lnsp_.push_back({idx, mag(idx), 1.5 * thrd});
+    }
+  }
+
+  /// Closed form of the reference's recon accumulation for a fully refined
+  /// entry: subtracted total 2^p + v, plus half the final interval (plane 0
+  /// => 0.5). Exact for spans <= 50 planes, hence bit-identical.
+  [[nodiscard]] double final_recon(double m, uint64_t v) const {
+    const int16_t p = plane_of(m);
+    return double((uint64_t(1) << p) + v) + 0.5;
+  }
+
+  void refinement_pass(int32_t n, double thrd) {
+    if (int_path_) {
+      // Read-only scan: bit n of each entry's precomputed sequence, batched
+      // into words. No per-entry state mutates until the final closed-form
+      // reconstruction.
+      uint64_t word = 0;
+      unsigned fill = 0;
+      for (const uint64_t v : lsp_v_) {
+        word |= ((v >> n) & 1u) << fill;
+        if (++fill == 64) {
+          bw_.put_word(word);
+          word = 0;
+          fill = 0;
         }
       }
+      if (fill) bw_.put_bits(word, fill);
+      lsp_idx_.insert(lsp_idx_.end(), lnsp_idx_.begin(), lnsp_idx_.end());
+      lsp_v_.insert(lsp_v_.end(), lnsp_v_.begin(), lnsp_v_.end());
+      lnsp_idx_.clear();
+      lnsp_v_.clear();
+      return;
     }
-  }
-
-  /// Examine one set. `known_sig` marks the deducible case — the last child
-  /// of a significant parent whose siblings all tested insignificant — for
-  /// which no significance bit is emitted (the decoder deduces it too).
-  /// Returns whether the set was significant.
-  bool process(SetEntry& e, double thrd, bool known_sig = false) {
-    if (e.max_mag < 0.0) e.max_mag = set_max(e.box);
-    const bool sig = known_sig || e.max_mag > thrd;
-    if (!known_sig) {
-      put(sig);
-      if (budget_hit_) return sig;
-    }
-    if (!sig) {
-      lis_[e.depth].push_back(e);
-      return false;
-    }
-    if (e.box.is_single()) {
-      const uint64_t idx = dims_.index(e.box.x, e.box.y, e.box.z);
-      put(neg_[idx]);
-      if (budget_hit_) return true;
-      lnsp_.push_back({idx, mag_[idx], 1.5 * thrd});
-      return true;
-    }
-    Box children[8];
-    const int nc = split_box(e.box, children);
-    bool any_sig = false;
-    for (int i = 0; i < nc && !budget_hit_; ++i) {
-      SetEntry child{children[i], e.depth + 1, -1.0};
-      const bool deducible = (i == nc - 1) && !any_sig;
-      any_sig |= process(child, thrd, deducible);
-    }
-    return true;
-  }
-
-  void refinement_pass(double thrd) {
-    for (auto& p : lsp_) {
-      const bool bit = p.residual > thrd;
-      put(bit);
-      if (budget_hit_) return;
-      if (bit) p.residual -= thrd;
-      p.recon += bit ? thrd / 2.0 : -thrd / 2.0;
+    if (budget_ == 0) {
+      // >50-plane fallback: the reference's residual walk with batched
+      // emission through the word-at-a-time path.
+      uint64_t word = 0;
+      unsigned fill = 0;
+      for (auto& p : lsp_) {
+        const bool bit = p.residual > thrd;
+        if (bit) p.residual -= thrd;
+        p.recon += bit ? thrd / 2.0 : -thrd / 2.0;
+        word |= uint64_t(bit) << fill;
+        if (++fill == 64) {
+          bw_.put_word(word);
+          word = 0;
+          fill = 0;
+        }
+      }
+      if (fill) bw_.put_bits(word, fill);
+    } else {
+      // Budgeted: per-bit loop so encoding stops on the exact budget bit,
+      // with that bit's state update skipped — as the reference does.
+      for (auto& p : lsp_) {
+        const bool bit = p.residual > thrd;
+        put(bit);
+        if (budget_hit_) return;
+        if (bit) p.residual -= thrd;
+        p.recon += bit ? thrd / 2.0 : -thrd / 2.0;
+      }
     }
     for (auto& p : lnsp_) p.residual -= thrd;
     lsp_.insert(lsp_.end(), lnsp_.begin(), lnsp_.end());
     lnsp_.clear();
   }
 
+  const double* coeffs_;
   Dims dims_;
   double q_;
   size_t budget_;
   bool budget_hit_ = false;
 
-  std::vector<double> mag_;  ///< |coeff| / q
+  std::vector<int16_t> coeff_planes_;  ///< per-coefficient planes (build-time only)
   double mag_sq_sum_ = 0.0;
-  std::vector<uint8_t> neg_;
   int32_t n_max_ = -1;
   size_t planes_ = 0;
 
-  std::vector<std::vector<SetEntry>> lis_;
-  std::vector<SigEntry> lsp_;
+  SetTree tree_;
+  std::vector<std::vector<uint32_t>> lis_;  ///< packed node ids, bucketed by depth
+  std::vector<uint32_t> pending_;           ///< per-bucket scratch (capacity reused)
+  std::vector<Frame> frames_;               ///< iterative descent stack
+
+  bool int_path_ = false;  ///< packed-integer refinement (see constructor)
+  std::vector<uint32_t> lsp_idx_;  ///< int path: coefficient indices, LSP order
+  std::vector<uint64_t> lsp_v_;    ///< int path: packed refinement bit sequences
+  std::vector<uint32_t> lnsp_idx_;
+  std::vector<uint64_t> lnsp_v_;
+  std::vector<SigEntry> lsp_;  ///< fallback paths: residual-walk entries
   std::vector<SigEntry> lnsp_;
   BitWriter bw_;
 };
@@ -219,7 +347,11 @@ std::vector<uint8_t> encode(const double* coeffs,
                             size_t budget_bits,
                             EncodeStats* stats,
                             std::vector<double>* recon_out) {
-  Encoder enc(coeffs, dims, q, budget_bits);
+  // Node ids in the flattened tree are uint32; beyond this (far above any
+  // real chunk) fall back to the reference coder.
+  if (dims.total() >= (size_t(1) << 31))
+    return encode_reference(coeffs, dims, q, budget_bits, stats, recon_out);
+  FastEncoder enc(coeffs, dims, q, budget_bits);
   auto stream = enc.run(stats);
   if (recon_out) enc.export_recon(*recon_out);
   return stream;

@@ -47,4 +47,16 @@ std::vector<uint8_t> encode(const double* coeffs,
                             EncodeStats* stats = nullptr,
                             std::vector<double>* recon_out = nullptr);
 
+/// The original recursive, lazily-evaluated coder (reference.cpp), kept as
+/// the bit-exactness oracle for the flattened production encoder — same
+/// stream bytes, same EncodeStats, for every input and mode. Differentially
+/// tested in tests/test_speck_fast.cpp; the speedup is recorded by
+/// `bench_micro --speck_json` (BENCH_speck.json).
+std::vector<uint8_t> encode_reference(const double* coeffs,
+                                      Dims dims,
+                                      double q,
+                                      size_t budget_bits = 0,
+                                      EncodeStats* stats = nullptr,
+                                      std::vector<double>* recon_out = nullptr);
+
 }  // namespace sperr::speck

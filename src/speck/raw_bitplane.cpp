@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitset.h"
 #include "common/bitstream.h"
 #include "common/byteio.h"
 
@@ -18,10 +19,10 @@ std::vector<uint8_t> raw_bitplane_encode(const double* coeffs, Dims dims,
                                          double q) {
   const size_t n = dims.total();
   std::vector<double> mag(n);
-  std::vector<uint8_t> neg(n);
+  PackedBits neg(n);
   double max_m = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    neg[i] = std::signbit(coeffs[i]);
+    neg.set(i, std::signbit(coeffs[i]));
     mag[i] = std::fabs(coeffs[i]) / q;
     max_m = std::max(max_m, mag[i]);
   }
@@ -32,12 +33,12 @@ std::vector<uint8_t> raw_bitplane_encode(const double* coeffs, Dims dims,
   }
 
   BitWriter bw;
-  std::vector<uint8_t> significant(n, 0);
+  PackedBits significant(n);
   std::vector<double> residual = mag;
   for (int32_t p = n_max; p >= 0; --p) {
     const double thrd = std::ldexp(1.0, p);
     for (size_t i = 0; i < n; ++i) {
-      if (significant[i]) {
+      if (significant.get(i)) {
         // Refinement bit (same rule as SPECK's RefinementPass).
         const bool bit = residual[i] > thrd;
         bw.put(bit);
@@ -46,8 +47,8 @@ std::vector<uint8_t> raw_bitplane_encode(const double* coeffs, Dims dims,
         const bool sig = mag[i] > thrd;
         bw.put(sig);
         if (sig) {
-          bw.put(neg[i]);
-          significant[i] = 1;
+          bw.put(neg.get(i));
+          significant.set(i);
           residual[i] = mag[i] - thrd;
         }
       }
@@ -75,14 +76,14 @@ Status raw_bitplane_decode(const uint8_t* stream, size_t nbytes, Dims dims,
 
   const size_t n = dims.total();
   std::vector<double> value(n, 0.0);
-  std::vector<uint8_t> neg(n, 0), significant(n, 0);
+  PackedBits neg(n), significant(n);
 
   const uint64_t clamped = std::min<uint64_t>(nbits, (nbytes - hr.pos()) * 8);
   BitReader br(stream + hr.pos(), nbytes - hr.pos(), clamped);
   for (int32_t p = n_max; p >= 0 && !br.exhausted(); --p) {
     const double thrd = std::ldexp(1.0, p);
     for (size_t i = 0; i < n; ++i) {
-      if (significant[i]) {
+      if (significant.get(i)) {
         const bool bit = br.get();
         if (br.exhausted()) break;
         value[i] += bit ? thrd / 2.0 : -thrd / 2.0;
@@ -92,15 +93,15 @@ Status raw_bitplane_decode(const uint8_t* stream, size_t nbytes, Dims dims,
         if (sig) {
           const bool negative = br.get();
           if (br.exhausted()) break;
-          neg[i] = negative;
-          significant[i] = 1;
+          neg.set(i, negative);
+          significant.set(i);
           value[i] = 1.5 * thrd;
         }
       }
     }
   }
   for (size_t i = 0; i < n; ++i)
-    coeffs[i] = (neg[i] ? -value[i] : value[i]) * q;
+    coeffs[i] = (neg.get(i) ? -value[i] : value[i]) * q;
   return Status::ok;
 }
 

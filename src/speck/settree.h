@@ -1,0 +1,81 @@
+#pragma once
+
+// Flattened SPECK set-partition hierarchy. The reference coder materializes
+// sets lazily as 40-byte box entries and rediscovers each set's children
+// (split_box) and maximum magnitude (a strided box scan) on demand, every
+// plane. This tree precomputes both, once, into contiguous SoA arrays:
+//
+//   * structure  — node 0 is the root (whole grid); an internal node's
+//     children occupy the contiguous id range [first(i), first(i)+nchild(i))
+//     in exactly the order split_box() emits them, so a traversal that walks
+//     child ids reproduces the reference traversal bit for bit;
+//   * magnitudes — per node, the maximum significance plane of the
+//     coefficients it covers, folded bottom-up in one reverse sweep.
+//
+// Ids are allocated by a depth-first walk (children always follow their
+// parent), which makes the bottom-up fold a reverse linear sweep and keeps a
+// subtree's nodes adjacent in memory — the generalized Morton layout: for a
+// power-of-two cube, leaves appear exactly in Z-order. A leaf stores its
+// coefficient's linear index instead of a child range.
+//
+// The structure depends only on the grid extents, so encoder and decoder
+// build identical trees without communicating anything.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "speck/common.h"
+
+namespace sperr::speck {
+
+/// Significance plane of a dead-zone coefficient (|c|/q <= 1): tested
+/// planes are n >= 0, so -1 means "never significant".
+inline constexpr int16_t kDeadPlane = -1;
+
+/// Largest representable plane: thresholds 2^n for n > 1023 overflow to
+/// +inf, where even an infinite magnitude fails the strict `m > thrd` test.
+inline constexpr int16_t kMaxPlane = 1023;
+
+/// Significance plane of a scaled magnitude m = |c| / q: the largest n >= 0
+/// with m > 2^n, or kDeadPlane when there is none. Matches the reference
+/// coder's per-plane `m > ldexp(1.0, n)` test for every n, and its top-plane
+/// search, exactly (strict inequality: m == 2^k is NOT significant at k).
+inline int16_t plane_of(double m) {
+  if (!(m > 1.0)) return kDeadPlane;  // dead zone; also 0 and NaN
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(m));
+  __builtin_memcpy(&bits, &m, sizeof(bits));
+  const int e = int((bits >> 52) & 0x7ff) - 1023;  // m > 1 => positive normal
+  if (e > 1023) return kMaxPlane;                  // +inf
+  const bool exact_pow2 = (bits & ((uint64_t(1) << 52) - 1)) == 0;
+  return int16_t(exact_pow2 ? e - 1 : e);
+}
+
+/// The flattened set-partition tree. Node ids are uint32: callers must
+/// ensure dims.total() < 2^31 (the speck::encode/decode entry points fall
+/// back to the reference coder above that).
+class SetTree {
+ public:
+  /// Build the structure for `dims`. Deterministic and data-independent.
+  void build(Dims dims);
+
+  /// Fill per-node max planes bottom-up from per-coefficient planes
+  /// (indexed by linear coefficient index). Requires build() first.
+  void fill_planes(const int16_t* coeff_planes);
+
+  [[nodiscard]] size_t node_count() const { return nchild_.size(); }
+  [[nodiscard]] bool is_leaf(uint32_t id) const { return nchild_[id] == 0; }
+  [[nodiscard]] uint32_t first_child(uint32_t id) const { return first_[id]; }
+  [[nodiscard]] uint32_t child_count(uint32_t id) const { return nchild_[id]; }
+  /// Linear coefficient index of a leaf node.
+  [[nodiscard]] uint32_t coeff_index(uint32_t id) const { return first_[id]; }
+  [[nodiscard]] int16_t plane(uint32_t id) const { return plane_[id]; }
+
+ private:
+  std::vector<uint32_t> first_;  ///< internal: first child id; leaf: coeff index
+  std::vector<uint8_t> nchild_;  ///< 0 for leaves, 2..8 otherwise
+  std::vector<int16_t> plane_;   ///< max significance plane over the set
+};
+
+}  // namespace sperr::speck

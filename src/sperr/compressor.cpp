@@ -91,6 +91,9 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
       stats->speck_bytes += s.speck.size();
       stats->outlier_bytes += s.outlier.size();
       stats->num_outliers += s.num_outliers;
+      stats->speck_payload_bits += s.speck_stats.payload_bits;
+      stats->speck_planes_coded += s.speck_stats.planes_coded;
+      stats->speck_significant += s.speck_stats.significant_count;
       stats->timing += s.timing;
     }
     stats->bpp = double(out.size()) * 8.0 / double(dims.total());

@@ -94,6 +94,14 @@ struct Stats {
   size_t num_outliers = 0;
   size_t num_chunks = 0;
   double bpp = 0.0;  ///< achieved bits per point (final container)
+
+  /// SPECK coder internals, summed over chunks (from speck::EncodeStats):
+  /// payload bits actually emitted, bitplanes walked, and coefficients that
+  /// left the dead zone. Ties the container size back to coder behaviour
+  /// (e.g. Fig. 2's coefficient/outlier storage split).
+  size_t speck_payload_bits = 0;
+  size_t speck_planes_coded = 0;  ///< sum over chunks; divide by num_chunks for the mean
+  size_t speck_significant = 0;
   StageTiming timing;
 };
 

@@ -34,7 +34,7 @@ ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
   // reconstruction so stage 3 need not decode the stream it just built.
   timer.reset();
   std::vector<double> recon;
-  result.speck = speck::encode(coeffs, dims, q, 0, nullptr, &recon);
+  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats, &recon);
   result.timing.speck_s = timer.seconds();
 
   // Stage 3: locate outliers — inverse transform plus a comparison with the
@@ -81,7 +81,7 @@ ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
   const double q = max_mag > 0.0 ? std::ldexp(max_mag, -50) : 1.0;
 
   timer.reset();
-  result.speck = speck::encode(coeffs, dims, q, budget_bits);
+  result.speck = speck::encode(coeffs, dims, q, budget_bits, &result.speck_stats);
   result.timing.speck_s = timer.seconds();
   return result;
 }
@@ -107,7 +107,7 @@ ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target
   const double q = rmse_target * std::sqrt(12.0) * 0.5;
 
   timer.reset();
-  result.speck = speck::encode(coeffs, dims, q);
+  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats);
   result.timing.speck_s = timer.seconds();
   return result;
 }

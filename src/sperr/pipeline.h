@@ -14,6 +14,7 @@
 #include "common/arena.h"
 #include "common/types.h"
 #include "outlier/coder.h"
+#include "speck/encoder.h"
 #include "sperr/config.h"
 
 namespace sperr::pipeline {
@@ -23,6 +24,7 @@ struct ChunkStream {
   std::vector<uint8_t> outlier;  ///< outlier stream (empty in fixed-rate mode)
   size_t num_outliers = 0;
   size_t outlier_payload_bits = 0;  ///< bits in the outlier payload (excl. header)
+  speck::EncodeStats speck_stats;  ///< coder-internal counters for this chunk
   StageTiming timing;
 };
 

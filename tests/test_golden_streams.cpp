@@ -1,0 +1,109 @@
+// Golden-stream regression tests: committed .sperr fixtures produced by
+// sperr::compress at a pinned configuration. A fresh encode of the same
+// deterministic synthetic field must reproduce the fixture byte for byte,
+// and decoding the fixture must honor the mode's quality contract. Any
+// unintentional change to the wavelet transform, SPECK coder, outlier
+// coder, lossless back end, or container layout trips these immediately.
+//
+// Regenerating (after an INTENTIONAL format/coder change):
+//   SPERR_GOLDEN_REGEN=1 ./test_golden  # rewrites tests/golden/*.sperr
+// then commit the new fixtures together with the change that motivated them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "sperr/sperr.h"
+
+namespace sperr {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(GOLDEN_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("SPERR_GOLDEN_REGEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+/// Compress the field, compare byte-for-byte against the committed fixture
+/// (or rewrite it under SPERR_GOLDEN_REGEN=1), then decode the FIXTURE bytes
+/// and hand the reconstruction back for mode-specific checks.
+void check_golden(const std::string& name, const std::vector<double>& field,
+                  Dims dims, const Config& cfg, std::vector<double>& recon) {
+  const auto fresh = compress(field.data(), dims, cfg);
+  const std::string path = golden_path(name);
+  if (regen_requested()) write_file(path, fresh);
+
+  const auto golden = read_file(path);
+  ASSERT_FALSE(golden.empty()) << path << " missing — run with SPERR_GOLDEN_REGEN=1";
+  ASSERT_EQ(fresh.size(), golden.size()) << name << ": stream length changed";
+  ASSERT_EQ(fresh, golden) << name << ": stream bytes changed";
+
+  Dims out_dims;
+  ASSERT_EQ(decompress(golden.data(), golden.size(), recon, out_dims), Status::ok);
+  ASSERT_EQ(out_dims.x, dims.x);
+  ASSERT_EQ(out_dims.y, dims.y);
+  ASSERT_EQ(out_dims.z, dims.z);
+  ASSERT_EQ(recon.size(), dims.total());
+  for (size_t i = 0; i < recon.size(); ++i)
+    ASSERT_TRUE(std::isfinite(recon[i])) << name << " index " << i;
+}
+
+TEST(GoldenStreams, Pwe3dOddDims) {
+  const Dims dims{33, 17, 9};  // odd, non-power-of-two extents
+  const auto field = data::miranda_pressure(dims, 7);
+  Config cfg;
+  cfg.mode = Mode::pwe;
+  cfg.tolerance = 0.02;
+  std::vector<double> recon;
+  check_golden("pwe_3d.sperr", field, dims, cfg, recon);
+  for (size_t i = 0; i < recon.size(); ++i)
+    ASSERT_LE(std::fabs(field[i] - recon[i]), cfg.tolerance) << "index " << i;
+}
+
+TEST(GoldenStreams, FixedRate3d) {
+  const Dims dims{32, 32, 16};
+  const auto field = data::nyx_dark_matter_density(dims, 3);
+  Config cfg;
+  cfg.mode = Mode::fixed_rate;
+  cfg.bpp = 2.0;
+  std::vector<double> recon;
+  check_golden("rate_3d.sperr", field, dims, cfg, recon);
+  // No point-wise bound in this mode; the budget bound is the contract.
+  const auto golden = read_file(golden_path("rate_3d.sperr"));
+  EXPECT_LT(double(golden.size()) * 8.0 / double(dims.total()), cfg.bpp * 1.25);
+}
+
+TEST(GoldenStreams, Pwe2dSlice) {
+  const Dims dims{48, 37, 1};  // 2D: quadtree partitioning path
+  const auto field = data::lighthouse_2d(dims, 11);
+  Config cfg;
+  cfg.mode = Mode::pwe;
+  cfg.tolerance = 0.005;
+  std::vector<double> recon;
+  check_golden("pwe_2d.sperr", field, dims, cfg, recon);
+  for (size_t i = 0; i < recon.size(); ++i)
+    ASSERT_LE(std::fabs(field[i] - recon[i]), cfg.tolerance) << "index " << i;
+}
+
+}  // namespace
+}  // namespace sperr

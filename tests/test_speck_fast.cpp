@@ -1,0 +1,244 @@
+// Differential tests: the flattened production SPECK coder (speck::encode /
+// speck::decode) against the recursive reference coder it replaced
+// (encode_reference / decode_reference). The contract is total: bit-identical
+// streams, equal EncodeStats (bit for bit, including the estimated RMSE
+// double), identical exported reconstructions, and identical decodes — over
+// randomized shapes including degenerate ones, budgeted and unbudgeted
+// modes, and adversarial magnitudes (exact powers of two sit right on the
+// strict significance threshold). Plus the embedded-prefix property the
+// format guarantees: any prefix decodes to a finite field whose coefficient
+// RMSE never increases as the prefix grows.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "speck/common.h"
+#include "speck/decoder.h"
+#include "speck/encoder.h"
+#include "speck/settree.h"
+
+namespace sperr::speck {
+namespace {
+
+/// Heavy-tailed coefficients with adversarial values mixed in: exact
+/// power-of-two multiples of q (the strict `m > 2^n` boundary), exact
+/// threshold magnitudes, negative zeros, and dead-zone values.
+std::vector<double> adversarial_coeffs(Dims dims, uint64_t seed, double q) {
+  Rng rng(seed);
+  std::vector<double> c(dims.total());
+  for (auto& v : c) {
+    const double u = rng.uniform();
+    if (u < 0.08) {
+      v = (rng.next() & 1 ? -1.0 : 1.0) * std::ldexp(q, int(rng.below(12)));
+    } else if (u < 0.12) {
+      v = rng.next() & 1 ? -0.0 : 0.0;
+    } else if (u < 0.2) {
+      v = rng.uniform(-q, q);  // dead zone
+    } else {
+      const double scale = u < 0.25 ? 1000.0 : (u < 0.55 ? 10.0 : 0.1);
+      v = rng.gaussian() * scale * q;
+    }
+  }
+  return c;
+}
+
+void expect_stats_equal(const EncodeStats& a, const EncodeStats& b) {
+  EXPECT_EQ(a.payload_bits, b.payload_bits);
+  EXPECT_EQ(a.planes_coded, b.planes_coded);
+  EXPECT_EQ(a.significant_count, b.significant_count);
+  // Bit-for-bit: the fast coder performs the same double arithmetic in the
+  // same order.
+  EXPECT_EQ(a.estimated_coeff_rmse, b.estimated_coeff_rmse);
+}
+
+void expect_decode_stats_equal(const DecodeStats& a, const DecodeStats& b) {
+  EXPECT_EQ(a.bits_consumed, b.bits_consumed);
+  EXPECT_EQ(a.significant_count, b.significant_count);
+  EXPECT_EQ(a.truncated, b.truncated);
+}
+
+/// Full differential check of one (dims, q, budget, seed) cell.
+void expect_coders_identical(Dims dims, double q, size_t budget, uint64_t seed) {
+  SCOPED_TRACE(dims.to_string() + " q=" + std::to_string(q) +
+               " budget=" + std::to_string(budget) + " seed=" + std::to_string(seed));
+  const auto coeffs = adversarial_coeffs(dims, seed, q);
+
+  EncodeStats ref_stats, fast_stats;
+  std::vector<double> ref_recon, fast_recon;
+  const auto ref = encode_reference(coeffs.data(), dims, q, budget, &ref_stats, &ref_recon);
+  const auto fast = encode(coeffs.data(), dims, q, budget, &fast_stats, &fast_recon);
+
+  ASSERT_EQ(fast, ref) << "stream bytes diverge";
+  expect_stats_equal(fast_stats, ref_stats);
+  ASSERT_EQ(fast_recon.size(), ref_recon.size());
+  for (size_t i = 0; i < ref_recon.size(); ++i)
+    ASSERT_EQ(fast_recon[i], ref_recon[i]) << "recon coefficient " << i;
+
+  // Decode differential: full stream and a mid-stream truncation.
+  const size_t cuts[] = {ref.size(), Header::kBytes + (ref.size() - Header::kBytes) / 2};
+  for (const size_t nbytes : cuts) {
+    SCOPED_TRACE("decode nbytes=" + std::to_string(nbytes));
+    std::vector<double> ref_out(dims.total()), fast_out(dims.total());
+    DecodeStats ref_ds, fast_ds;
+    ASSERT_EQ(decode_reference(ref.data(), nbytes, dims, ref_out.data(), &ref_ds),
+              Status::ok);
+    ASSERT_EQ(decode(ref.data(), nbytes, dims, fast_out.data(), &fast_ds), Status::ok);
+    expect_decode_stats_equal(fast_ds, ref_ds);
+    for (size_t i = 0; i < ref_out.size(); ++i)
+      ASSERT_EQ(fast_out[i], ref_out[i]) << "decoded coefficient " << i;
+  }
+}
+
+TEST(SpeckFast, DegenerateShapesMatchReference) {
+  const Dims shapes[] = {{1, 1, 1}, {2, 1, 1},  {1, 7, 1},   {1, 1, 64},
+                         {1, 31, 17}, {5, 1, 9}, {64, 1, 1},  {3, 3, 3},
+                         {33, 17, 1}, {16, 16, 16}, {13, 9, 5}, {40, 25, 7}};
+  uint64_t seed = 100;
+  for (const Dims& d : shapes) {
+    expect_coders_identical(d, 0.5, 0, ++seed);
+    expect_coders_identical(d, 1.3, 0, ++seed);
+  }
+}
+
+TEST(SpeckFast, BudgetedModesMatchReference) {
+  const Dims shapes[] = {{32, 32, 1}, {16, 16, 8}, {1, 48, 3}, {25, 11, 4}};
+  uint64_t seed = 300;
+  for (const Dims& d : shapes) {
+    const size_t n = d.total();
+    // Budgets from starving (a handful of bits) through mid-stream to
+    // beyond the unbudgeted stream length.
+    for (const size_t budget : {size_t(3), size_t(64), n / 2, 2 * n, 100 * n})
+      expect_coders_identical(d, 0.25, budget, ++seed);
+  }
+}
+
+TEST(SpeckFast, RandomizedShapeSweepMatchesReference) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random ranks and extents, biased toward awkward non-power-of-two
+    // shapes and thin slabs.
+    const int rank = 1 + int(rng.below(3));
+    size_t e[3] = {1, 1, 1};
+    for (int a = 0; a < rank; ++a) e[a] = 1 + rng.below(40);
+    const Dims dims{e[rng.below(3) % 3], e[(1 + rng.below(3)) % 3], e[2]};
+    const double q = std::ldexp(1.0, int(rng.below(6)) - 3) * (1.0 + rng.uniform());
+    const size_t budget = (rng.next() & 1) ? 0 : 1 + rng.below(8 * dims.total());
+    expect_coders_identical(dims, q, budget, 4000 + uint64_t(trial));
+  }
+}
+
+TEST(SpeckFast, PureSyntheticSpecialsMatchReference) {
+  // All-zero, constant, all-dead-zone, and single-spike fields.
+  const Dims dims{24, 24, 6};
+  const size_t n = dims.total();
+  std::vector<double> field(n, 0.0);
+  auto check = [&](const char* what) {
+    SCOPED_TRACE(what);
+    EncodeStats rs, fs;
+    const auto ref = encode_reference(field.data(), dims, 0.5, 0, &rs);
+    const auto fast = encode(field.data(), dims, 0.5, 0, &fs);
+    ASSERT_EQ(fast, ref);
+    expect_stats_equal(fs, rs);
+  };
+  check("all zero");
+  field.assign(n, 0.4);
+  check("dead zone constant");
+  field.assign(n, 0.0);
+  field[dims.index(17, 5, 3)] = -777.25;
+  check("single spike");
+  field.assign(n, 8.0);  // exactly 2^4 * q: max magnitude on a plane boundary
+  check("power-of-two constant");
+}
+
+TEST(SpeckFast, PlaneOfMatchesStrictThresholdSemantics) {
+  // plane_of(m) must equal the largest n >= 0 with m > 2^n under plain
+  // double comparison — the reference coder's significance test.
+  auto brute = [](double m) {
+    int16_t p = kDeadPlane;
+    for (int n = 0; n <= 40; ++n)
+      if (m > std::ldexp(1.0, n)) p = int16_t(n);
+    return p;
+  };
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const double m = std::ldexp(1.0 + rng.uniform(), int(rng.below(38)) - 2);
+    ASSERT_EQ(plane_of(m), brute(m)) << "m=" << m;
+  }
+  for (int k = 0; k <= 38; ++k) {
+    const double pow2 = std::ldexp(1.0, k);
+    ASSERT_EQ(plane_of(pow2), brute(pow2)) << "2^" << k;           // exact boundary
+    ASSERT_EQ(plane_of(std::nextafter(pow2, 2 * pow2)), brute(std::nextafter(pow2, 2 * pow2)));
+    ASSERT_EQ(plane_of(std::nextafter(pow2, 0.0)), brute(std::nextafter(pow2, 0.0)));
+  }
+  EXPECT_EQ(plane_of(0.0), kDeadPlane);
+  EXPECT_EQ(plane_of(1.0), kDeadPlane);
+  EXPECT_EQ(plane_of(0.999), kDeadPlane);
+  EXPECT_EQ(plane_of(std::numeric_limits<double>::infinity()), kMaxPlane);
+}
+
+TEST(SpeckFast, EmbeddedPrefixSweepIsFiniteAndMonotone) {
+  // The embedded-prefix invariant, swept densely: decoding ANY prefix of a
+  // SPECK stream yields a finite field, and the coefficient RMSE is
+  // non-increasing as the prefix grows byte by byte.
+  const Dims dims{20, 18, 3};
+  const auto coeffs = adversarial_coeffs(dims, 77, 0.05);
+  const auto stream = encode(coeffs.data(), dims, 0.05);
+  ASSERT_GT(stream.size(), Header::kBytes + 8);
+
+  std::vector<double> recon(dims.total());
+  double prev_rmse = 1e300;
+  // Every byte boundary near the front (where planes are coarse and error
+  // moves fastest), then every 5th byte to the end.
+  for (size_t nbytes = Header::kBytes; nbytes <= stream.size();
+       nbytes += (nbytes < Header::kBytes + 64 ? 1 : 5)) {
+    ASSERT_EQ(decode(stream.data(), nbytes, dims, recon.data()), Status::ok);
+    double sq = 0.0;
+    for (size_t i = 0; i < recon.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(recon[i])) << "prefix " << nbytes << " index " << i;
+      const double e = coeffs[i] - recon[i];
+      sq += e * e;
+    }
+    const double rmse = std::sqrt(sq / double(recon.size()));
+    EXPECT_LE(rmse, prev_rmse * (1.0 + 1e-9)) << "prefix bytes " << nbytes;
+    prev_rmse = rmse;
+  }
+  EXPECT_LT(prev_rmse, 0.05);  // the full stream hits the quantization floor
+}
+
+TEST(SpeckFast, SetTreeCoversGridExactly) {
+  // Structural invariants of the flattened tree: leaves partition the grid
+  // (every linear index exactly once), children are contiguous and ordered,
+  // and fill_planes propagates the max upward.
+  for (const Dims dims : {Dims{7, 5, 3}, Dims{1, 9, 2}, Dims{16, 16, 1}, Dims{4, 4, 4}}) {
+    SCOPED_TRACE(dims.to_string());
+    SetTree t;
+    t.build(dims);
+    std::vector<int> seen(dims.total(), 0);
+    size_t leaves = 0;
+    for (uint32_t id = 0; id < t.node_count(); ++id) {
+      if (!t.is_leaf(id)) {
+        ASSERT_GE(t.child_count(id), 2u);
+        ASSERT_GT(t.first_child(id), id);  // DFS ids: children after parent
+        continue;
+      }
+      ++leaves;
+      ASSERT_LT(t.coeff_index(id), dims.total());
+      ++seen[t.coeff_index(id)];
+    }
+    EXPECT_EQ(leaves, dims.total());
+    for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << "index " << i;
+
+    std::vector<int16_t> planes(dims.total());
+    for (size_t i = 0; i < planes.size(); ++i) planes[i] = int16_t(i % 7);
+    t.fill_planes(planes.data());
+    int16_t expect_root = 0;
+    for (int16_t p : planes) expect_root = std::max(expect_root, p);
+    EXPECT_EQ(t.plane(0), expect_root);
+  }
+}
+
+}  // namespace
+}  // namespace sperr::speck

@@ -161,5 +161,35 @@ TEST(PipelineProperty, StageTimingsArePopulated) {
   EXPECT_GT(cs.timing.total(), 0.0);
 }
 
+TEST(PipelineProperty, SpeckStatsThreadThroughChunkStreamAndStats) {
+  const Dims dims{40, 40, 20};
+  const auto field = mixed_field(dims, 31);
+  const auto cs = pipeline::encode_pwe(field.data(), dims, 0.01, 1.5);
+  EXPECT_GT(cs.speck_stats.payload_bits, 0u);
+  EXPECT_GT(cs.speck_stats.planes_coded, 0u);
+  EXPECT_GT(cs.speck_stats.significant_count, 0u);
+  EXPECT_GT(cs.speck_stats.estimated_coeff_rmse, 0.0);
+  // payload_bits is the stream minus the fixed header, rounded to bytes.
+  EXPECT_EQ(cs.speck.size(),
+            speck::Header::kBytes + (cs.speck_stats.payload_bits + 7) / 8);
+
+  // The chunked compressor aggregates the same counters across chunks.
+  Config cfg;
+  cfg.tolerance = 0.01;
+  cfg.chunk_dims = {20, 20, 20};  // divides 40x40x20 into exactly 4 chunks
+  Stats stats;
+  compress(field.data(), dims, cfg, &stats);
+  EXPECT_EQ(stats.num_chunks, 4u);
+  EXPECT_GT(stats.speck_payload_bits, 0u);
+  EXPECT_GE(stats.speck_planes_coded, stats.num_chunks);  // >= 1 plane per chunk
+  EXPECT_GT(stats.speck_significant, 0u);
+  // Per-chunk streams round payload bits up to bytes, so the byte total is
+  // bracketed by the aggregated bit count.
+  EXPECT_GE(stats.speck_bytes,
+            stats.num_chunks * speck::Header::kBytes + stats.speck_payload_bits / 8);
+  EXPECT_LE(stats.speck_bytes, stats.num_chunks * (speck::Header::kBytes + 1) +
+                                   stats.speck_payload_bits / 8);
+}
+
 }  // namespace
 }  // namespace sperr
