@@ -9,6 +9,10 @@
 //   bench_micro --wavelet_json=BENCH_wavelet.json [--wavelet_n=256]
 // A third mode does the same for the flattened-vs-reference SPECK coder:
 //   bench_micro --speck_json=BENCH_speck.json [--speck_n=256]
+// A fourth mode records the block-parallel lossless codec against the
+// single-block reference on a real SPERR container payload:
+//   bench_micro --lossless_json=BENCH_lossless.json [--lossless_n=256]
+//               [--lossless_threads=8]
 
 #include <benchmark/benchmark.h>
 
@@ -421,15 +425,160 @@ int write_speck_json(const std::string& path, size_t n, int repeats) {
   return 0;
 }
 
+// --- BENCH_lossless.json: block-parallel vs reference lossless codec -------
+
+struct LosslessRecord {
+  Dims dims;
+  int repeats = 3;
+  int threads = 8;
+  size_t input_bytes = 0;
+  size_t nblocks = 0;
+  size_t reference_bytes = 0;
+  size_t blocked_bytes = 0;
+  double ref_encode_s = 0.0;       // best-of-repeats, single-block reference
+  double ref_decode_s = 0.0;
+  double serial_encode_s = 0.0;    // blocked codec, 1 thread
+  double serial_decode_s = 0.0;
+  double parallel_encode_s = 0.0;  // blocked codec, `threads` threads
+  double parallel_decode_s = 0.0;
+  bool round_trip_ok = false;
+};
+
+LosslessRecord run_lossless_record(size_t n, int repeats, int threads) {
+  namespace ll = sperr::lossless;
+  LosslessRecord rec;
+  rec.dims = Dims{n, n, n};
+  rec.repeats = repeats;
+  rec.threads = threads;
+
+  // The codec's production workload: a real SPERR container (SPECK +
+  // outlier payloads, lossless pass withheld so we can apply it here).
+  const auto vol = sperr::data::miranda_pressure(rec.dims);
+  sperr::Config cfg;
+  cfg.tolerance = sperr::tolerance_from_idx(vol.data(), vol.size(), 20);
+  cfg.lossless_pass = false;
+  const auto input = sperr::compress(vol.data(), rec.dims, cfg);
+  rec.input_bytes = input.size();
+
+  // Equivalence first: both framings must reproduce the input exactly.
+  const auto ref_stream = ll::encode_reference(input);
+  const auto blocked_stream = ll::compress(input, {size_t(1) << 20, threads});
+  rec.reference_bytes = ref_stream.size();
+  rec.blocked_bytes = blocked_stream.size();
+  std::vector<uint8_t> ref_out, blocked_out;
+  rec.round_trip_ok =
+      ll::decode_reference(ref_stream.data(), ref_stream.size(), ref_out) ==
+          sperr::Status::ok &&
+      ll::decompress(blocked_stream, blocked_out) == sperr::Status::ok &&
+      ref_out == input && blocked_out == input;
+  ll::StreamInfo info;
+  if (ll::inspect(blocked_stream.data(), blocked_stream.size(), info) ==
+      sperr::Status::ok)
+    rec.nblocks = info.blocks.size();
+
+  sperr::Timer timer;
+  rec.ref_encode_s = rec.ref_decode_s = 1e300;
+  rec.serial_encode_s = rec.serial_decode_s = 1e300;
+  rec.parallel_encode_s = rec.parallel_decode_s = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    timer.reset();
+    auto s = ll::encode_reference(input);
+    rec.ref_encode_s = std::min(rec.ref_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
+    s = ll::compress(input, {size_t(1) << 20, 1});
+    rec.serial_encode_s = std::min(rec.serial_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
+    s = ll::compress(input, {size_t(1) << 20, threads});
+    rec.parallel_encode_s = std::min(rec.parallel_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
+    (void)ll::decode_reference(ref_stream.data(), ref_stream.size(), ref_out);
+    rec.ref_decode_s = std::min(rec.ref_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(ref_out.data());
+
+    timer.reset();
+    (void)ll::decompress(blocked_stream.data(), blocked_stream.size(),
+                         blocked_out, nullptr, 1);
+    rec.serial_decode_s = std::min(rec.serial_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(blocked_out.data());
+
+    timer.reset();
+    (void)ll::decompress(blocked_stream.data(), blocked_stream.size(),
+                         blocked_out, nullptr, threads);
+    rec.parallel_decode_s = std::min(rec.parallel_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(blocked_out.data());
+  }
+  return rec;
+}
+
+int write_lossless_json(const std::string& path, size_t n, int repeats, int threads) {
+  const LosslessRecord rec = run_lossless_record(n, repeats, threads);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const double mb = double(rec.input_bytes) / 1e6;
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"benchmark\": \"lossless_blocked_encode_decode\",\n"
+      "  \"dims\": [%zu, %zu, %zu],\n"
+      "  \"repeats\": %d,\n"
+      "  \"threads\": %d,\n"
+      "  \"input_bytes\": %zu,\n"
+      "  \"nblocks\": %zu,\n"
+      "  \"reference_bytes\": %zu,\n"
+      "  \"blocked_bytes\": %zu,\n"
+      "  \"reference_encode_seconds\": %.6f,\n"
+      "  \"reference_decode_seconds\": %.6f,\n"
+      "  \"serial_encode_seconds\": %.6f,\n"
+      "  \"serial_decode_seconds\": %.6f,\n"
+      "  \"parallel_encode_seconds\": %.6f,\n"
+      "  \"parallel_decode_seconds\": %.6f,\n"
+      "  \"serial_speedup\": %.3f,\n"
+      "  \"parallel_speedup\": %.3f,\n"
+      "  \"serial_encode_mbps\": %.1f,\n"
+      "  \"parallel_encode_mbps\": %.1f,\n"
+      "  \"round_trip_ok\": %s\n"
+      "}\n",
+      rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats, rec.threads,
+      rec.input_bytes, rec.nblocks, rec.reference_bytes, rec.blocked_bytes,
+      rec.ref_encode_s, rec.ref_decode_s, rec.serial_encode_s,
+      rec.serial_decode_s, rec.parallel_encode_s, rec.parallel_decode_s,
+      (rec.ref_encode_s + rec.ref_decode_s) /
+          (rec.serial_encode_s + rec.serial_decode_s),
+      (rec.ref_encode_s + rec.ref_decode_s) /
+          (rec.parallel_encode_s + rec.parallel_decode_s),
+      mb / rec.serial_encode_s, mb / rec.parallel_encode_s,
+      rec.round_trip_ok ? "true" : "false");
+  out << buf;
+  std::printf("%s", buf);
+  // A blocked codec that does not reproduce the input exactly is a
+  // correctness regression: fail so CI notices.
+  if (!rec.round_trip_ok) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string speck_json_path;
+  std::string lossless_json_path;
   size_t wavelet_n = 256;
   size_t speck_n = 256;
+  size_t lossless_n = 256;
   int repeats = 3;
   int speck_repeats = 3;
+  int lossless_repeats = 3;
+  int lossless_threads = 8;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -445,6 +594,14 @@ int main(int argc, char** argv) {
       speck_n = std::stoul(arg.substr(std::strlen("--speck_n=")));
     } else if (arg.rfind("--speck_repeats=", 0) == 0) {
       speck_repeats = std::stoi(arg.substr(std::strlen("--speck_repeats=")));
+    } else if (arg.rfind("--lossless_json=", 0) == 0) {
+      lossless_json_path = arg.substr(std::strlen("--lossless_json="));
+    } else if (arg.rfind("--lossless_n=", 0) == 0) {
+      lossless_n = std::stoul(arg.substr(std::strlen("--lossless_n=")));
+    } else if (arg.rfind("--lossless_repeats=", 0) == 0) {
+      lossless_repeats = std::stoi(arg.substr(std::strlen("--lossless_repeats=")));
+    } else if (arg.rfind("--lossless_threads=", 0) == 0) {
+      lossless_threads = std::stoi(arg.substr(std::strlen("--lossless_threads=")));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -452,6 +609,9 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) return write_wavelet_json(json_path, wavelet_n, repeats);
   if (!speck_json_path.empty())
     return write_speck_json(speck_json_path, speck_n, speck_repeats);
+  if (!lossless_json_path.empty())
+    return write_lossless_json(lossless_json_path, lossless_n, lossless_repeats,
+                               lossless_threads);
 
   int pass_argc = int(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

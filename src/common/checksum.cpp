@@ -1,0 +1,93 @@
+#include "common/checksum.h"
+
+#include <cstring>
+
+namespace sperr {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ull;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ull;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ull;
+
+inline uint64_t rotl(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+inline uint64_t read_u64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // all on-disk integers in this code base are little endian
+}
+
+inline uint32_t read_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t round64(uint64_t acc, uint64_t lane) {
+  return rotl(acc + lane * kPrime2, 31) * kPrime1;
+}
+
+inline uint64_t merge_round(uint64_t acc, uint64_t lane) {
+  acc ^= round64(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+}  // namespace
+
+uint64_t xxhash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const uint8_t* const stripe_end = end - 32;
+    do {
+      v1 = round64(v1, read_u64(p));
+      v2 = round64(v2, read_u64(p + 8));
+      v3 = round64(v3, read_u64(p + 16));
+      v4 = round64(v4, read_u64(p + 24));
+      p += 32;
+    } while (p <= stripe_end);
+    h = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    h = merge_round(h, v1);
+    h = merge_round(h, v2);
+    h = merge_round(h, v3);
+    h = merge_round(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += uint64_t(len);
+
+  while (p + 8 <= end) {
+    h ^= round64(0, read_u64(p));
+    h = rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= uint64_t(read_u32(p)) * kPrime1;
+    h = rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= uint64_t(*p) * kPrime5;
+    h = rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace sperr

@@ -60,6 +60,7 @@ enum class Status {
   truncated_stream,  ///< bitstream ended before decoding finished (valid for embedded streams)
   corrupt_stream,    ///< header/magic/version mismatch or inconsistent payload
   invalid_argument,  ///< caller passed an unusable parameter (e.g. tolerance <= 0)
+  corrupt_block,     ///< a lossless block failed its checksum; the block index is reported
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -68,6 +69,7 @@ enum class Status {
     case Status::truncated_stream: return "truncated_stream";
     case Status::corrupt_stream: return "corrupt_stream";
     case Status::invalid_argument: return "invalid_argument";
+    case Status::corrupt_block: return "corrupt_block";
   }
   return "unknown";
 }

@@ -5,15 +5,38 @@
 
 #include "common/bitstream.h"
 #include "common/byteio.h"
+#include "common/checksum.h"
 #include "lossless/huffman.h"
 #include "lossless/lz77.h"
+
+#ifdef SPERR_HAVE_OPENMP
+#include <omp.h>
+#endif
 
 namespace sperr::lossless {
 
 namespace {
 
+// Per-block payload modes (also the leading byte of reference streams).
 constexpr uint8_t kModeRaw = 0;
 constexpr uint8_t kModeLz = 1;
+// Stream format byte of the block-parallel framing. Reference streams start
+// with kModeRaw/kModeLz, so 2 unambiguously selects the blocked container.
+constexpr uint8_t kFmtBlocked = 2;
+
+constexpr size_t kMinBlockSize = size_t(1) << 12;
+constexpr size_t kMaxBlockSize = size_t(1) << 30;
+
+// fmt + reserved + block_size(u32) + raw_size(u64) + nblocks(u32).
+constexpr size_t kBlockedHeaderBytes = 18;
+// Per block: comp_size(u32) + checksum(u64).
+constexpr size_t kDirEntryBytes = 12;
+
+// A match codes at best ~2 bits (1-bit length symbol + 1-bit distance
+// symbol) for 258 bytes, i.e. a hair over 1000x expansion. Any directory
+// entry claiming more than this is corrupt, and rejecting it bounds the
+// output allocation an adversarial header can demand.
+constexpr uint64_t kMaxExpansion = 4096;
 
 // Deflate-style length/distance code tables (RFC 1951 §3.2.5).
 constexpr int kNumLenCodes = 29;
@@ -36,6 +59,9 @@ constexpr uint8_t kDistExtra[kNumDistCodes] = {0, 0, 0,  0,  1,  1,  2,  2,  3, 
 constexpr uint32_t kEob = 256;           // end-of-block symbol
 constexpr size_t kLitAlphabet = 286;     // 0..255 literals, 256 EOB, 257..285 lengths
 
+constexpr size_t kLitLenBytes = (kLitAlphabet + 1) / 2;    // packed 4 bits each
+constexpr size_t kDistLenBytes = (kNumDistCodes + 1) / 2;  // 143 + 15 = 158
+
 int length_code(uint32_t len) {
   for (int i = kNumLenCodes - 1; i >= 0; --i)
     if (len >= kLenBase[i]) return i;
@@ -46,6 +72,31 @@ int distance_code(uint32_t dist) {
   for (int i = kNumDistCodes - 1; i >= 0; --i)
     if (dist >= kDistBase[i]) return i;
   return 0;
+}
+
+// O(1) symbol lookup replacing the linear searches above on the hot paths.
+// Distances above 256 bucket by (d - 1) >> 7: every distance base past 256 is
+// 1 + a multiple of 128, so each bucket maps to exactly one code (zlib's trick).
+struct CodeLut {
+  uint8_t len_code[kMaxMatch + 1] = {};
+  uint8_t dist_small[257] = {};
+  uint8_t dist_large[256] = {};
+};
+
+const CodeLut& code_lut() {
+  static const CodeLut lut = [] {
+    CodeLut t{};
+    for (uint32_t l = 3; l <= kMaxMatch; ++l) t.len_code[l] = uint8_t(length_code(l));
+    for (uint32_t d = 1; d <= 256; ++d) t.dist_small[d] = uint8_t(distance_code(d));
+    for (uint32_t d = 257; d <= kWindowSize; ++d)
+      t.dist_large[(d - 1) >> 7] = uint8_t(distance_code(d));
+    return t;
+  }();
+  return lut;
+}
+
+inline uint32_t fast_distance_code(const CodeLut& lut, uint32_t dist) {
+  return dist <= 256 ? lut.dist_small[dist] : lut.dist_large[(dist - 1) >> 7];
 }
 
 // Code lengths are 0..15 so two fit per byte.
@@ -67,9 +118,433 @@ std::vector<uint8_t> unpack_lengths(ByteReader& br, size_t count) {
   return lengths;
 }
 
+void unpack_lengths_raw(const uint8_t* p, uint8_t* lengths, size_t count) {
+  for (size_t i = 0; i < count; i += 2) {
+    const uint8_t b = p[i / 2];
+    lengths[i] = b & 0x0f;
+    if (i + 1 < count) lengths[i + 1] = b >> 4;
+  }
+}
+
+inline uint32_t bit_reverse(uint32_t v, unsigned n) {
+  uint32_t r = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    r = (r << 1) | (v & 1u);
+    v >>= 1;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming encode: two lz77_scan passes per block (count, then emit) with no
+// materialized token array.
+// ---------------------------------------------------------------------------
+
+/// Pass 1: symbol frequencies plus the exact number of extra (non-Huffman)
+/// bits the token stream will need — enough to price the block without
+/// emitting a single bit.
+struct FreqSink final : TokenSink {
+  const CodeLut& lut;
+  uint64_t lit[kLitAlphabet] = {};
+  uint64_t dist[kNumDistCodes] = {};
+  uint64_t extra_bits = 0;
+
+  explicit FreqSink(const CodeLut& l) : lut(l) {}
+
+  void on_literal(uint8_t byte) override { ++lit[byte]; }
+  void on_match(uint32_t length, uint32_t distance) override {
+    const uint32_t lc = lut.len_code[length];
+    const uint32_t dc = fast_distance_code(lut, distance);
+    ++lit[257 + lc];
+    ++dist[dc];
+    extra_bits += kLenExtra[lc] + kDistExtra[dc];
+  }
+};
+
+/// Pass 2: feed tokens straight into the bit writer. Codes are stored
+/// bit-reversed so one put_bits() call (LSB-first) lands on the wire exactly
+/// as the reference encoder's MSB-first per-bit loop does, with the extra
+/// bits batched into the same call.
+struct EmitSink final : TokenSink {
+  const CodeLut& lut;
+  BitWriter& bw;
+  uint32_t lit_code[kLitAlphabet] = {};
+  uint8_t lit_len[kLitAlphabet] = {};
+  uint32_t dist_code[kNumDistCodes] = {};
+  uint8_t dist_len[kNumDistCodes] = {};
+
+  EmitSink(const CodeLut& l, BitWriter& w, const std::vector<uint8_t>& lit_lengths,
+           const std::vector<uint8_t>& dist_lengths)
+      : lut(l), bw(w) {
+    const auto lc = canonical_codes(lit_lengths);
+    for (size_t s = 0; s < kLitAlphabet; ++s) {
+      lit_len[s] = lit_lengths[s];
+      lit_code[s] = bit_reverse(lc[s], lit_lengths[s]);
+    }
+    const auto dc = canonical_codes(dist_lengths);
+    for (size_t s = 0; s < size_t(kNumDistCodes); ++s) {
+      dist_len[s] = dist_lengths[s];
+      dist_code[s] = bit_reverse(dc[s], dist_lengths[s]);
+    }
+  }
+
+  void on_literal(uint8_t byte) override { bw.put_bits(lit_code[byte], lit_len[byte]); }
+  void on_match(uint32_t length, uint32_t distance) override {
+    const uint32_t lc = lut.len_code[length];
+    bw.put_bits(lit_code[257 + lc] | (uint64_t(length - kLenBase[lc]) << lit_len[257 + lc]),
+                lit_len[257 + lc] + kLenExtra[lc]);
+    const uint32_t dc = fast_distance_code(lut, distance);
+    bw.put_bits(dist_code[dc] | (uint64_t(distance - kDistBase[dc]) << dist_len[dc]),
+                dist_len[dc] + kDistExtra[dc]);
+  }
+};
+
+/// Per-worker reusable state: hash chains for the matcher, bytes for the
+/// bit writer. Keeps the parallel loop allocation-free in steady state.
+struct EncScratch {
+  MatchScratch match;
+  BitWriter bw;
+};
+
+/// Encode one block's payload: `mode` byte + body. The frequency pass prices
+/// the block exactly (header bytes + ceil(payload bits / 8)), so blocks where
+/// entropy coding loses — SPECK's near-random bitplanes — skip the emit scan
+/// and are stored raw at one byte of overhead.
+std::vector<uint8_t> encode_block(const uint8_t* data, size_t n, EncScratch& es) {
+  const CodeLut& lut = code_lut();
+  FreqSink freq(lut);
+  lz77_scan(data, n, freq, &es.match);
+  ++freq.lit[kEob];
+
+  const std::vector<uint64_t> lit_freq(freq.lit, freq.lit + kLitAlphabet);
+  const std::vector<uint64_t> dist_freq(freq.dist, freq.dist + kNumDistCodes);
+  // 15-bit limit: the header packs code lengths into 4 bits each.
+  const auto lit_lengths = huffman_code_lengths(lit_freq, 15);
+  const auto dist_lengths = huffman_code_lengths(dist_freq, 15);
+
+  uint64_t payload_bits = freq.extra_bits;
+  for (size_t s = 0; s < kLitAlphabet; ++s) payload_bits += lit_freq[s] * lit_lengths[s];
+  for (size_t s = 0; s < size_t(kNumDistCodes); ++s)
+    payload_bits += dist_freq[s] * dist_lengths[s];
+  const size_t lz_size = 1 + kLitLenBytes + kDistLenBytes + size_t((payload_bits + 7) / 8);
+
+  std::vector<uint8_t> out;
+  if (lz_size >= n + 1) {
+    out.reserve(n + 1);
+    out.push_back(kModeRaw);
+    out.insert(out.end(), data, data + n);
+    return out;
+  }
+
+  out.reserve(lz_size);
+  out.push_back(kModeLz);
+  pack_lengths(out, lit_lengths);
+  pack_lengths(out, dist_lengths);
+  es.bw.clear();
+  EmitSink emit(lut, es.bw, lit_lengths, dist_lengths);
+  lz77_scan(data, n, emit, &es.match);
+  es.bw.put_bits(emit.lit_code[kEob], emit.lit_len[kEob]);
+  const auto& payload = es.bw.bytes();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven decode: one 15-bit flat lookup per symbol instead of the
+// reference decoder's bit-at-a-time canonical walk.
+// ---------------------------------------------------------------------------
+
+constexpr unsigned kTableBits = 15;  // == the 15-bit code length limit
+
+/// Build a flat decode table: entry = (symbol << 4) | code_len, 0 = invalid.
+/// Indexing is by the next kTableBits bits of the stream (LSB-first), so each
+/// code fills every table slot whose low bits equal its reversed code.
+/// Rejects over-subscribed length sets; an all-zero set yields an empty
+/// (never-matching) table, which is valid for an unused distance alphabet.
+bool build_flat_table(const uint8_t* lengths, size_t count, std::vector<uint16_t>& table) {
+  uint32_t counts[16] = {};
+  for (size_t i = 0; i < count; ++i) ++counts[lengths[i]];
+
+  uint64_t kraft = 0;
+  for (unsigned l = 1; l <= 15; ++l) kraft += uint64_t(counts[l]) << (kTableBits - l);
+  if (kraft > (uint64_t(1) << kTableBits)) return false;
+
+  table.assign(size_t(1) << kTableBits, 0);
+  uint32_t next_code[16] = {};
+  uint32_t code = 0;
+  for (unsigned l = 1; l <= 15; ++l) {
+    code = (code + counts[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  for (size_t sym = 0; sym < count; ++sym) {
+    const unsigned len = lengths[sym];
+    if (len == 0) continue;
+    const uint32_t rev = bit_reverse(next_code[len]++, len);
+    const uint16_t entry = uint16_t((sym << 4) | len);
+    const uint32_t step = 1u << len;
+    for (uint32_t idx = rev; idx < (1u << kTableBits); idx += step) table[idx] = entry;
+  }
+  return true;
+}
+
+/// LSB-first bit reader with a 64-bit accumulator. Reads past the end return
+/// zero bits while `overrun()` latches — mirroring BitReader's contract but
+/// amortizing to one branch + shift per symbol.
+class BitsIn {
+ public:
+  BitsIn(const uint8_t* p, size_t n) : p_(p), n_(n) {}
+
+  inline uint32_t peek15() {
+    refill();
+    return uint32_t(buf_) & 0x7fffu;
+  }
+  inline void consume(unsigned k) {
+    buf_ >>= k;
+    cnt_ -= k;
+    used_ += k;
+  }
+  inline uint32_t get(unsigned k) {  // k <= 13 (extra bits)
+    refill();
+    const uint32_t v = uint32_t(buf_) & ((1u << k) - 1u);
+    consume(k);
+    return v;
+  }
+  [[nodiscard]] bool overrun() const { return used_ > 8 * n_; }
+
+ private:
+  inline void refill() {
+    while (cnt_ <= 56) {
+      buf_ |= uint64_t(pos_ < n_ ? p_[pos_] : 0) << cnt_;
+      ++pos_;
+      cnt_ += 8;
+    }
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t pos_ = 0;
+  uint64_t buf_ = 0;
+  unsigned cnt_ = 0;
+  size_t used_ = 0;
+};
+
+struct DecScratch {
+  std::vector<uint16_t> lit_table;
+  std::vector<uint16_t> dist_table;
+};
+
+/// Decode one block payload into exactly `raw` bytes at `dst` (which the
+/// caller guarantees has `raw` writable bytes). Any inconsistency — bad mode,
+/// invalid code tables, out-of-range match, wrong decoded size — fails the
+/// block without touching its neighbours.
+Status decode_block(const uint8_t* p, size_t comp, uint8_t* dst, size_t raw,
+                    DecScratch& ds) {
+  if (comp < 1) return Status::truncated_stream;
+  const uint8_t mode = p[0];
+  if (mode == kModeRaw) {
+    if (comp - 1 != raw) return Status::corrupt_stream;
+    std::memcpy(dst, p + 1, raw);
+    return Status::ok;
+  }
+  if (mode != kModeLz) return Status::corrupt_stream;
+  if (comp < 1 + kLitLenBytes + kDistLenBytes) return Status::truncated_stream;
+
+  uint8_t lit_lengths[kLitAlphabet];
+  uint8_t dist_lengths[kNumDistCodes];
+  unpack_lengths_raw(p + 1, lit_lengths, kLitAlphabet);
+  unpack_lengths_raw(p + 1 + kLitLenBytes, dist_lengths, kNumDistCodes);
+  if (!build_flat_table(lit_lengths, kLitAlphabet, ds.lit_table))
+    return Status::corrupt_stream;
+  if (!build_flat_table(dist_lengths, kNumDistCodes, ds.dist_table))
+    return Status::corrupt_stream;
+
+  BitsIn in(p + 1 + kLitLenBytes + kDistLenBytes, comp - 1 - kLitLenBytes - kDistLenBytes);
+  size_t produced = 0;
+  while (true) {
+    const uint16_t e = ds.lit_table[in.peek15()];
+    if (e == 0) return Status::corrupt_stream;
+    in.consume(e & 0xfu);
+    const uint32_t sym = e >> 4;
+    if (sym < 256) {
+      if (produced == raw) return Status::corrupt_stream;
+      dst[produced++] = uint8_t(sym);
+      continue;
+    }
+    if (sym == kEob) break;
+    const uint32_t lc = sym - 257;
+    if (lc >= uint32_t(kNumLenCodes)) return Status::corrupt_stream;
+    const uint32_t len = kLenBase[lc] + in.get(kLenExtra[lc]);
+    const uint16_t ed = ds.dist_table[in.peek15()];
+    if (ed == 0) return Status::corrupt_stream;
+    in.consume(ed & 0xfu);
+    const uint32_t dc = ed >> 4;
+    const uint32_t dist = kDistBase[dc] + in.get(kDistExtra[dc]);
+    if (in.overrun()) return Status::truncated_stream;
+    if (dist > produced) return Status::corrupt_stream;
+    if (len > raw - produced) return Status::corrupt_stream;
+    uint8_t* o = dst + produced;
+    const uint8_t* s = o - dist;
+    if (dist >= len) {
+      std::memcpy(o, s, len);
+    } else {
+      // Overlapping match: byte-serial replication semantics.
+      for (uint32_t i = 0; i < len; ++i) o[i] = s[i];
+    }
+    produced += len;
+  }
+  if (in.overrun()) return Status::truncated_stream;
+  if (produced != raw) return Status::corrupt_stream;
+  return Status::ok;
+}
+
+/// Parse + validate the blocked framing and directory. Fills `info` (offsets,
+/// per-block raw sizes, modes) without decoding any payload.
+Status parse_blocked(const uint8_t* data, size_t size, StreamInfo& info) {
+  ByteReader hdr(data, size);
+  (void)hdr.u8();  // format byte, already dispatched on
+  const uint8_t reserved = hdr.u8();
+  const uint32_t bs32 = hdr.u32();
+  const uint64_t raw_size = hdr.u64();
+  const uint32_t nb = hdr.u32();
+  if (!hdr.ok()) return Status::truncated_stream;
+  if (reserved != 0) return Status::corrupt_stream;
+
+  const size_t bs = bs32;
+  if (bs < kMinBlockSize || bs > kMaxBlockSize) return Status::corrupt_stream;
+  const uint64_t want_nb = raw_size == 0 ? 0 : (raw_size - 1) / bs + 1;
+  if (nb != want_nb) return Status::corrupt_stream;
+  if (uint64_t(nb) * kDirEntryBytes > hdr.remaining()) return Status::truncated_stream;
+
+  info.blocked = true;
+  info.raw_size = raw_size;
+  info.block_size = bs;
+  info.blocks.resize(nb);
+  uint64_t payload_total = 0;
+  for (uint32_t b = 0; b < nb; ++b) {
+    info.blocks[b].comp_size = hdr.u32();
+    info.blocks[b].checksum = hdr.u64();
+    payload_total += info.blocks[b].comp_size;
+  }
+  if (payload_total > hdr.remaining()) return Status::truncated_stream;
+  if (payload_total < hdr.remaining()) return Status::corrupt_stream;
+
+  uint64_t off = hdr.pos();
+  for (uint32_t b = 0; b < nb; ++b) {
+    BlockInfo& bi = info.blocks[b];
+    bi.offset = off;
+    off += bi.comp_size;
+    bi.raw_size = b + 1 < nb ? bs : raw_size - uint64_t(bs) * (nb - 1);
+    bi.mode = bi.comp_size > 0 && bi.offset < size ? data[bi.offset] : 0;
+    // Directory entries promising implausible expansion are rejected before
+    // any allocation is sized from them.
+    if (bi.raw_size > uint64_t(bi.comp_size) * kMaxExpansion + 64)
+      return Status::corrupt_stream;
+  }
+  return Status::ok;
+}
+
 }  // namespace
 
-std::vector<uint8_t> compress(const uint8_t* data, size_t size) {
+// ---------------------------------------------------------------------------
+// Block-parallel public entry points.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> compress(const uint8_t* data, size_t size, const EncodeOptions& opts) {
+  const size_t bs = std::clamp(opts.block_size, kMinBlockSize, kMaxBlockSize);
+  const size_t nblocks = size == 0 ? 0 : (size - 1) / bs + 1;
+  std::vector<std::vector<uint8_t>> payloads(nblocks);
+  std::vector<uint64_t> checksums(nblocks, 0);
+
+#ifdef SPERR_HAVE_OPENMP
+  const int nt = opts.num_threads > 0 ? opts.num_threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+  for (int64_t b = 0; b < int64_t(nblocks); ++b) {
+    const size_t off = size_t(b) * bs;
+    const size_t n = std::min(bs, size - off);
+    checksums[size_t(b)] = xxhash64(data + off, n);
+    thread_local EncScratch scratch;
+    payloads[size_t(b)] = encode_block(data + off, n, scratch);
+  }
+
+  size_t total = kBlockedHeaderBytes + nblocks * kDirEntryBytes;
+  for (const auto& p : payloads) total += p.size();
+  std::vector<uint8_t> out;
+  out.reserve(total);
+  out.push_back(kFmtBlocked);
+  out.push_back(0);  // reserved
+  put_u32(out, uint32_t(bs));
+  put_u64(out, size);
+  put_u32(out, uint32_t(nblocks));
+  for (size_t b = 0; b < nblocks; ++b) {
+    put_u32(out, uint32_t(payloads[b].size()));
+    put_u64(out, checksums[b]);
+  }
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                  size_t* corrupt_block, int num_threads) {
+  (void)num_threads;
+  if (size == 0) return Status::truncated_stream;
+  const uint8_t fmt = data[0];
+  if (fmt == kModeRaw || fmt == kModeLz) return decode_reference(data, size, out);
+  if (fmt != kFmtBlocked) return Status::corrupt_stream;
+
+  StreamInfo info;
+  const Status parsed = parse_blocked(data, size, info);
+  if (parsed != Status::ok) return parsed;
+
+  out.clear();
+  out.resize(size_t(info.raw_size));
+  const size_t nb = info.blocks.size();
+  std::vector<Status> block_status(nb, Status::ok);
+
+#ifdef SPERR_HAVE_OPENMP
+  const int nt = num_threads > 0 ? num_threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+  for (int64_t b = 0; b < int64_t(nb); ++b) {
+    const BlockInfo& bi = info.blocks[size_t(b)];
+    uint8_t* dst = out.data() + size_t(b) * info.block_size;
+    thread_local DecScratch scratch;
+    Status st = decode_block(data + bi.offset, bi.comp_size, dst, size_t(bi.raw_size), scratch);
+    if (st == Status::ok && xxhash64(dst, size_t(bi.raw_size)) != bi.checksum)
+      st = Status::corrupt_block;
+    block_status[size_t(b)] = st;
+  }
+
+  for (size_t b = 0; b < nb; ++b) {
+    if (block_status[b] != Status::ok) {
+      if (corrupt_block) *corrupt_block = b;
+      return Status::corrupt_block;
+    }
+  }
+  return Status::ok;
+}
+
+Status inspect(const uint8_t* data, size_t size, StreamInfo& info) {
+  info = StreamInfo{};
+  if (size == 0) return Status::truncated_stream;
+  const uint8_t fmt = data[0];
+  if (fmt == kModeRaw || fmt == kModeLz) {
+    ByteReader hdr(data, size);
+    (void)hdr.u8();
+    info.raw_size = hdr.u64();
+    if (!hdr.ok()) return Status::truncated_stream;
+    return Status::ok;
+  }
+  if (fmt != kFmtBlocked) return Status::corrupt_stream;
+  return parse_blocked(data, size, info);
+}
+
+// ---------------------------------------------------------------------------
+// Reference single-block codec (the pre-block-rewrite format, kept verbatim
+// as the differential-test oracle and serial benchmark baseline).
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_reference(const uint8_t* data, size_t size) {
   const std::vector<Token> tokens = lz77_tokenize(data, size);
 
   // Token symbol frequencies for both Huffman tables.
@@ -126,7 +601,7 @@ std::vector<uint8_t> compress(const uint8_t* data, size_t size) {
   return out;
 }
 
-Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out) {
+Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out) {
   ByteReader hdr(data, size);
   const uint8_t mode = hdr.u8();
   const uint64_t raw_size = hdr.u64();

@@ -5,9 +5,25 @@
 // lossless pass over the concatenated SPECK + outlier bitstreams (paper §V)
 // and over the SZ-like baseline's Huffman output (paper §VI-E).
 //
-// The container always decodes to exactly the original bytes; when entropy
-// coding would expand the payload (typical for SPECK's near-random bitplanes)
-// the input is stored raw with one byte of overhead.
+// The production path is block-based and parallel: the input is split into
+// fixed-size blocks (default 1 MiB, recorded in the stream header), each
+// block is tokenized and Huffman-coded independently with its own code
+// tables, and blocks are (de)coded concurrently under OpenMP. A per-block
+// directory carries each block's compressed size and an XXH64 checksum of
+// its original bytes, so a flipped bit is reported as "block b is corrupt"
+// instead of silently poisoning the archive. Block encoding is streaming:
+// the matcher announces tokens to a sink that feeds the Huffman bit writer
+// directly — no materialized token array, bounded memory per worker.
+//
+// The pre-existing single-shot whole-input codec survives as
+// encode_reference / decode_reference: it is the equivalence oracle for the
+// differential tests and the serial baseline in bench_micro
+// --lossless_json. decompress() accepts both framings (it dispatches on the
+// leading format byte).
+//
+// Either path always decodes to exactly the original bytes; when entropy
+// coding would expand a block (typical for SPECK's near-random bitplanes)
+// that block is stored raw with one byte of overhead.
 
 #include <cstdint>
 #include <vector>
@@ -16,18 +32,67 @@
 
 namespace sperr::lossless {
 
-/// Compress `data`; the result always round-trips through decompress().
-std::vector<uint8_t> compress(const uint8_t* data, size_t size);
+/// Knobs for the block-parallel encoder.
+struct EncodeOptions {
+  /// Block granularity in bytes; clamped to [4 KiB, 1 GiB]. Smaller blocks
+  /// parallelize and localize corruption better, larger blocks give the
+  /// matcher more context (the window is 32 KiB, so gains flatten quickly).
+  size_t block_size = size_t(1) << 20;
+  /// OpenMP threads for block-parallel coding; 0 = runtime default.
+  int num_threads = 0;
+};
 
-inline std::vector<uint8_t> compress(const std::vector<uint8_t>& data) {
-  return compress(data.data(), data.size());
+/// Compress `data` with the block-parallel codec; the result always
+/// round-trips through decompress().
+std::vector<uint8_t> compress(const uint8_t* data, size_t size,
+                              const EncodeOptions& opts = {});
+
+inline std::vector<uint8_t> compress(const std::vector<uint8_t>& data,
+                                     const EncodeOptions& opts = {}) {
+  return compress(data.data(), data.size(), opts);
 }
 
-/// Decompress a buffer produced by compress().
-Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out);
+/// Decompress a buffer produced by compress() or encode_reference().
+/// Every block's checksum is verified; on a per-block failure the return is
+/// Status::corrupt_block and `*corrupt_block` (when non-null) receives the
+/// zero-based index of the first bad block. Framing-level failures return
+/// corrupt_stream/truncated_stream and leave `*corrupt_block` untouched.
+Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                  size_t* corrupt_block = nullptr, int num_threads = 0);
 
-inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>& out) {
-  return decompress(data.data(), data.size(), out);
+inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>& out,
+                         size_t* corrupt_block = nullptr, int num_threads = 0) {
+  return decompress(data.data(), data.size(), out, corrupt_block, num_threads);
 }
+
+/// Reference single-block codec: one serial LZ77+Huffman pass over the whole
+/// input, no directory, no checksums (the pre-block-rewrite format).
+std::vector<uint8_t> encode_reference(const uint8_t* data, size_t size);
+
+inline std::vector<uint8_t> encode_reference(const std::vector<uint8_t>& data) {
+  return encode_reference(data.data(), data.size());
+}
+
+Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out);
+
+/// Parsed view of a compressed stream's framing (no payload decoding).
+struct BlockInfo {
+  uint64_t offset = 0;     ///< payload offset from the start of the stream
+  uint32_t comp_size = 0;  ///< compressed payload bytes (incl. the mode byte)
+  uint64_t raw_size = 0;   ///< decoded bytes this block covers
+  uint64_t checksum = 0;   ///< XXH64 of the raw block bytes
+  uint8_t mode = 0;        ///< 0 = stored raw, 1 = LZ77+Huffman
+};
+
+struct StreamInfo {
+  bool blocked = false;  ///< true for the block-parallel framing
+  uint64_t raw_size = 0;
+  size_t block_size = 0;              ///< 0 for reference streams
+  std::vector<BlockInfo> blocks;      ///< empty for reference streams
+};
+
+/// Parse framing + block directory without decoding payloads. Used by the
+/// block-independence tests and `sperr_cc info`.
+Status inspect(const uint8_t* data, size_t size, StreamInfo& info);
 
 }  // namespace sperr::lossless

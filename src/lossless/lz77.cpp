@@ -24,13 +24,19 @@ inline size_t match_length(const uint8_t* a, const uint8_t* b, size_t max_len) {
 }
 
 struct Matcher {
-  std::vector<int64_t> head = std::vector<int64_t>(kHashSize, -1);
-  std::vector<int64_t> prev;
+  std::vector<int64_t>& head;
+  std::vector<int64_t>& prev;
   const uint8_t* data;
   size_t size;
   size_t inserted = 0;  ///< all positions < inserted are in the hash chains
 
-  Matcher(const uint8_t* d, size_t s) : prev(s, -1), data(d), size(s) {}
+  Matcher(const uint8_t* d, size_t s, MatchScratch& scratch)
+      : head(scratch.head), prev(scratch.prev), data(d), size(s) {
+    head.assign(kHashSize, -1);
+    // prev needs no clearing: prev[i] is written when position i is inserted,
+    // and chains only ever reach inserted positions.
+    if (prev.size() < s) prev.resize(s);
+  }
 
   /// Register every position in [inserted, target) in the hash chains.
   void insert_upto(size_t target) {
@@ -73,12 +79,12 @@ struct Matcher {
 
 }  // namespace
 
-std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size) {
-  std::vector<Token> tokens;
-  if (size == 0) return tokens;
-  tokens.reserve(size / 4);
+void lz77_scan(const uint8_t* data, size_t size, TokenSink& sink,
+               MatchScratch* scratch) {
+  if (size == 0) return;
+  MatchScratch local;
+  Matcher m(data, size, scratch ? *scratch : local);
 
-  Matcher m(data, size);
   size_t pos = 0;
   while (pos < size) {
     Token match = m.best_match(pos);
@@ -88,29 +94,55 @@ std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size) {
       m.insert_upto(pos + 1);
       const Token next = m.best_match(pos + 1);
       if (next.length > match.length + 1) {
-        Token lit{};
-        lit.literal = data[pos];
-        tokens.push_back(lit);
+        sink.on_literal(data[pos]);
         ++pos;
         match = next;
       }
     }
     if (match.length >= kMinMatch) {
-      tokens.push_back(match);
+      sink.on_match(match.length, match.distance);
       m.insert_upto(pos + match.length);
       pos += match.length;
     } else {
-      Token lit{};
-      lit.literal = data[pos];
-      tokens.push_back(lit);
+      sink.on_literal(data[pos]);
       m.insert_upto(pos + 1);
       ++pos;
     }
   }
+}
+
+namespace {
+
+struct VectorSink final : TokenSink {
+  std::vector<Token>& tokens;
+  explicit VectorSink(std::vector<Token>& t) : tokens(t) {}
+  void on_literal(uint8_t byte) override {
+    Token lit{};
+    lit.literal = byte;
+    tokens.push_back(lit);
+  }
+  void on_match(uint32_t length, uint32_t distance) override {
+    Token m{};
+    m.length = length;
+    m.distance = distance;
+    tokens.push_back(m);
+  }
+};
+
+}  // namespace
+
+std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size) {
+  std::vector<Token> tokens;
+  if (size == 0) return tokens;
+  tokens.reserve(size / 4);
+  VectorSink sink(tokens);
+  lz77_scan(data, size, sink);
   return tokens;
 }
 
-bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out) {
+bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out,
+                      size_t expected_size) {
+  if (expected_size) out.reserve(out.size() + expected_size);
   for (const Token& t : tokens) {
     if (t.length == 0) {
       out.push_back(t.literal);

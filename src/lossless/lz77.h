@@ -1,9 +1,12 @@
 #pragma once
 
-// Greedy LZ77 match finder with hash chains (zlib-style, 64 KiB window).
-// Produces a token stream (literals + length/distance matches) that the codec
-// entropy-codes with Huffman tables. Separated from the codec so the matcher
-// can be unit-tested on its own.
+// Greedy LZ77 match finder with hash chains (zlib-style, 32 KiB window).
+// The core entry point is lz77_scan(): a streaming pass that announces each
+// literal/match decision to a TokenSink the moment it is made, so callers
+// (the block codec) can count symbol frequencies or feed a Huffman bit
+// writer directly without ever materializing a token array. The vector-
+// returning lz77_tokenize() wrapper survives for unit tests and the
+// reference (single-block) codec path.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,11 +27,38 @@ struct Token {
   uint8_t literal = 0;
 };
 
-/// Tokenize `data` with greedy parsing plus one-step-lazy evaluation.
+/// Receives the parse of lz77_scan() one decision at a time, in input order.
+class TokenSink {
+ public:
+  virtual ~TokenSink() = default;
+  virtual void on_literal(uint8_t byte) = 0;
+  virtual void on_match(uint32_t length, uint32_t distance) = 0;
+};
+
+/// Reusable hash-chain storage so per-block scans do not reallocate. `prev`
+/// is resized without clearing (every slot is written before it is read);
+/// `head` is re-cleared per scan.
+struct MatchScratch {
+  std::vector<int64_t> head;
+  std::vector<int64_t> prev;
+};
+
+/// Parse `data` with greedy matching plus one-step-lazy evaluation, calling
+/// `sink` for every literal/match in order. Matches never reference bytes
+/// before `data` — a scan over a block is self-contained by construction.
+void lz77_scan(const uint8_t* data, size_t size, TokenSink& sink,
+               MatchScratch* scratch = nullptr);
+
+/// Tokenize `data` into a materialized token vector (lz77_scan + push_back).
 std::vector<Token> lz77_tokenize(const uint8_t* data, size_t size);
 
-/// Reconstruct the original bytes from a token stream. Returns false if a
-/// token references data before the start of the output (corrupt stream).
-bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out);
+/// Reconstruct the original bytes from a token stream, appending to `out`.
+/// `expected_size`, when nonzero, is the decoded size promised by the
+/// framing header and is reserved up front (the reconstruction loop grows
+/// `out` a byte at a time, so reserving avoids repeated reallocation).
+/// Returns false if a token references data before the start of the output
+/// (corrupt stream).
+bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& out,
+                      size_t expected_size = 0);
 
 }  // namespace sperr::lossless

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -81,12 +82,21 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
     inner.insert(inner.end(), s.outlier.begin(), s.outlier.end());
   }
 
-  auto out = wrap_container(std::move(inner), cfg.lossless_pass);
+  const size_t inner_bytes = inner.size();
+  const lossless::EncodeOptions lossless_opts{cfg.lossless_block_size, cfg.num_threads};
+  const auto t0 = std::chrono::steady_clock::now();
+  auto out = wrap_container(std::move(inner), cfg.lossless_pass, lossless_opts);
+  const auto t1 = std::chrono::steady_clock::now();
 
   if (stats) {
     *stats = Stats{};
     stats->compressed_bytes = out.size();
     stats->num_chunks = chunks.size();
+    if (cfg.lossless_pass) {
+      const size_t bs = std::clamp(cfg.lossless_block_size, size_t(1) << 12, size_t(1) << 30);
+      stats->lossless_blocks = inner_bytes == 0 ? 0 : (inner_bytes - 1) / bs + 1;
+      stats->timing.lossless_s = std::chrono::duration<double>(t1 - t0).count();
+    }
     for (const auto& s : streams) {
       stats->speck_bytes += s.speck.size();
       stats->outlier_bytes += s.outlier.size();

@@ -50,6 +50,14 @@ struct Config {
   /// Apply the final lossless pass (paper §V uses ZSTD; we use the built-in
   /// LZ77+Huffman codec). Disable to inspect raw coder output.
   bool lossless_pass = true;
+
+  /// Block granularity of the lossless pass in bytes (clamped to
+  /// [4 KiB, 1 GiB] by the codec). Blocks are coded independently and in
+  /// parallel, each carrying its own checksum; smaller blocks localize
+  /// corruption and parallelize better, larger ones compress slightly
+  /// tighter. The value is recorded in the stream, so any setting decodes
+  /// everywhere.
+  size_t lossless_block_size = size_t(1) << 20;
 };
 
 /// Wall-clock seconds per pipeline stage (paper Fig. 6), summed over chunks
@@ -61,10 +69,11 @@ struct StageTiming {
   double speck_s = 0.0;      ///< SPECK coefficient coding
   double locate_s = 0.0;     ///< inverse transform + comparison to find outliers
   double outlier_s = 0.0;    ///< outlier coding
+  double lossless_s = 0.0;   ///< final lossless pass over the container
   uint64_t bytes = 0;        ///< uncompressed input bytes covered by the times
 
   [[nodiscard]] double total() const {
-    return transform_s + speck_s + locate_s + outlier_s;
+    return transform_s + speck_s + locate_s + outlier_s + lossless_s;
   }
 
   /// Forward-transform stage throughput in MB/s (0 when unmeasured).
@@ -82,6 +91,7 @@ struct StageTiming {
     speck_s += o.speck_s;
     locate_s += o.locate_s;
     outlier_s += o.outlier_s;
+    lossless_s += o.lossless_s;
     bytes += o.bytes;
     return *this;
   }
@@ -93,6 +103,7 @@ struct Stats {
   size_t outlier_bytes = 0;     ///< outlier-coding bytes before the lossless pass
   size_t num_outliers = 0;
   size_t num_chunks = 0;
+  size_t lossless_blocks = 0;  ///< blocks in the final lossless pass (0 if disabled)
   double bpp = 0.0;  ///< achieved bits per point (final container)
 
   /// SPECK coder internals, summed over chunks (from speck::EncodeStats):

@@ -54,9 +54,10 @@ Status ContainerHeader::deserialize(ByteReader& br) {
   return Status::ok;
 }
 
-std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless) {
+std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless,
+                                    const lossless::EncodeOptions& opts) {
   std::vector<uint8_t> payload =
-      lossless ? lossless::compress(inner) : std::move(inner);
+      lossless ? lossless::compress(inner, opts) : std::move(inner);
 
   std::vector<uint8_t> out;
   out.reserve(payload.size() + 14);
@@ -68,17 +69,20 @@ std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless) {
   return out;
 }
 
-Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner) {
+Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
+                        size_t* corrupt_block) {
   ByteReader br(data, size);
   if (br.u32() != ContainerHeader::kOuterMagic) return Status::corrupt_stream;
-  if (br.u8() != ContainerHeader::kVersion) return Status::corrupt_stream;
+  const uint8_t version = br.u8();
+  if (version < ContainerHeader::kMinVersion || version > ContainerHeader::kVersion)
+    return Status::corrupt_stream;
   const uint8_t lossless_flag = br.u8();
   const uint64_t len = br.u64();
   if (!br.ok()) return Status::truncated_stream;
   const uint8_t* payload = br.raw(len);
   if (!payload) return Status::truncated_stream;
 
-  if (lossless_flag) return lossless::decompress(payload, len, inner);
+  if (lossless_flag) return lossless::decompress(payload, len, inner, corrupt_block);
   inner.assign(payload, payload + len);
   return Status::ok;
 }

@@ -17,6 +17,7 @@
 
 #include "common/byteio.h"
 #include "common/types.h"
+#include "lossless/codec.h"
 #include "sperr/config.h"
 
 namespace sperr {
@@ -24,7 +25,11 @@ namespace sperr {
 struct ContainerHeader {
   static constexpr uint32_t kOuterMagic = 0x5a525053;  // "SPRZ"
   static constexpr uint32_t kInnerMagic = 0x43525053;  // "SPRC"
-  static constexpr uint8_t kVersion = 1;
+  // Version history: 1 = single-block lossless pass; 2 = block-parallel
+  // lossless framing with per-block checksums (docs/FORMAT.md). The decoder
+  // accepts both: the lossless codec dispatches on its own format byte.
+  static constexpr uint8_t kVersion = 2;
+  static constexpr uint8_t kMinVersion = 1;
 
   Mode mode = Mode::pwe;
   uint8_t precision = 8;  ///< bytes per sample of the original input (4 or 8)
@@ -38,10 +43,15 @@ struct ContainerHeader {
 };
 
 /// Wrap the inner container: apply the lossless pass (if enabled) and
-/// prepend the outer header.
-std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless);
+/// prepend the outer header. `opts` controls the lossless codec's block size
+/// and thread count (ignored when `lossless` is false).
+std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless,
+                                    const lossless::EncodeOptions& opts = {});
 
-/// Undo wrap_container; `inner` receives the decoded container bytes.
-Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner);
+/// Undo wrap_container; `inner` receives the decoded container bytes. When
+/// the lossless payload fails a per-block checksum the return is
+/// Status::corrupt_block and `*corrupt_block` (if non-null) names the block.
+Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
+                        size_t* corrupt_block = nullptr);
 
 }  // namespace sperr

@@ -116,7 +116,8 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
     inner.insert(inner.end(), s.speck.begin(), s.speck.end());
     inner.insert(inner.end(), s.outlier.begin(), s.outlier.end());
   }
-  const auto blob = wrap_container(std::move(inner), cfg.lossless_pass);
+  const auto blob = wrap_container(std::move(inner), cfg.lossless_pass,
+                                   {cfg.lossless_block_size, cfg.num_threads});
 
   std::ofstream out(out_path, std::ios::binary);
   if (!out ||

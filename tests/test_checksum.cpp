@@ -1,0 +1,82 @@
+#include "common/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sperr {
+namespace {
+
+uint64_t hash_str(const std::string& s, uint64_t seed = 0) {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+// Published XXH64 reference values (the upstream xxHash sanity vectors).
+TEST(Checksum, MatchesPublishedXxh64Vectors) {
+  EXPECT_EQ(hash_str(""), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(hash_str("abc"), 0x44BC2CF5AD770999ull);
+}
+
+TEST(Checksum, SeedChangesTheHash) {
+  const std::string msg = "scientific data";
+  EXPECT_NE(hash_str(msg, 0), hash_str(msg, 1));
+  EXPECT_NE(hash_str("", 0), xxhash64("", 0, 1));
+}
+
+TEST(Checksum, DeterministicAcrossCalls) {
+  Rng rng(77);
+  std::vector<uint8_t> buf(100000);
+  for (auto& b : buf) b = uint8_t(rng.next());
+  const uint64_t h1 = xxhash64(buf.data(), buf.size());
+  const uint64_t h2 = xxhash64(buf.data(), buf.size());
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(Checksum, SingleBitFlipChangesTheHash) {
+  // The checksum's whole job in the lossless block directory: any one-bit
+  // payload change must be detected.
+  Rng rng(78);
+  std::vector<uint8_t> buf(4096);
+  for (auto& b : buf) b = uint8_t(rng.next());
+  const uint64_t base = xxhash64(buf.data(), buf.size());
+  for (const size_t byte : {size_t(0), size_t(31), size_t(32), size_t(1000),
+                            buf.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= uint8_t(1 << bit);
+      EXPECT_NE(xxhash64(buf.data(), buf.size()), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= uint8_t(1 << bit);
+    }
+  }
+  EXPECT_EQ(xxhash64(buf.data(), buf.size()), base);
+}
+
+TEST(Checksum, EveryLengthUpToTwoStripesHashesDistinctly) {
+  // Exercises all tail paths (8-byte, 4-byte, 1-byte) and the 32-byte stripe
+  // loop boundary; a prefix and its extension must not collide.
+  std::vector<uint8_t> buf(96);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = uint8_t(i * 37 + 11);
+  std::vector<uint64_t> seen;
+  for (size_t n = 0; n <= buf.size(); ++n) seen.push_back(xxhash64(buf.data(), n));
+  for (size_t a = 0; a < seen.size(); ++a)
+    for (size_t b = a + 1; b < seen.size(); ++b)
+      EXPECT_NE(seen[a], seen[b]) << "lengths " << a << " and " << b;
+}
+
+TEST(Checksum, IndependentOfBufferAlignment) {
+  std::vector<uint8_t> storage(200);
+  for (size_t i = 0; i < storage.size(); ++i) storage[i] = uint8_t(i);
+  const uint64_t ref = xxhash64(storage.data(), 64);
+  for (size_t shift = 1; shift < 8; ++shift) {
+    std::vector<uint8_t> moved(storage.size() + shift);
+    std::memcpy(moved.data() + shift, storage.data(), 64);
+    EXPECT_EQ(xxhash64(moved.data() + shift, 64), ref);
+  }
+}
+
+}  // namespace
+}  // namespace sperr

@@ -1,0 +1,228 @@
+// Block-parallel lossless codec: differential equivalence against the
+// reference single-block codec, block framing/independence contracts, and
+// per-block corruption reporting.
+
+#include "lossless/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/checksum.h"
+#include "common/rng.h"
+
+namespace sperr::lossless {
+namespace {
+
+constexpr size_t kSmallBlock = size_t(1) << 12;  // codec minimum, forces many blocks
+
+std::vector<uint8_t> compressible_blob(size_t n, uint32_t seed) {
+  // Repetitive text with a sprinkle of noise: compresses well but not
+  // degenerately, so multi-block streams stay in kModeLz.
+  Rng rng(seed);
+  std::string text;
+  while (text.size() < n) {
+    text += "the quick brown fox jumps over the lazy dog. ";
+    if (rng.below(4) == 0) text += char('a' + rng.below(26));
+  }
+  text.resize(n);
+  return {text.begin(), text.end()};
+}
+
+std::vector<uint8_t> random_blob(size_t n, uint32_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> b(n);
+  for (auto& v : b) v = uint8_t(rng.next());
+  return b;
+}
+
+// --- differential: blocked and reference codecs are equivalence oracles ----
+
+TEST(CodecBlocked, DifferentialAgainstReferenceCodec) {
+  const std::vector<std::vector<uint8_t>> inputs = {
+      {},
+      {42},
+      compressible_blob(100, 1),
+      compressible_blob(3 * kSmallBlock + 17, 2),
+      random_blob(2 * kSmallBlock + 5, 3),
+  };
+  for (const auto& input : inputs) {
+    const auto blocked = compress(input, {kSmallBlock, 0});
+    const auto reference = encode_reference(input);
+    std::vector<uint8_t> from_blocked, from_reference;
+    ASSERT_EQ(decompress(blocked, from_blocked), Status::ok);
+    ASSERT_EQ(decode_reference(reference.data(), reference.size(), from_reference),
+              Status::ok);
+    EXPECT_EQ(from_blocked, input);
+    EXPECT_EQ(from_reference, input);
+    EXPECT_EQ(from_blocked, from_reference);
+  }
+}
+
+TEST(CodecBlocked, DecompressDispatchesOnReferenceFraming) {
+  const auto input = compressible_blob(5000, 4);
+  const auto reference = encode_reference(input);
+  std::vector<uint8_t> out;
+  ASSERT_EQ(decompress(reference, out), Status::ok);  // auto-detects old framing
+  EXPECT_EQ(out, input);
+}
+
+// --- framing -----------------------------------------------------------------
+
+TEST(CodecBlocked, EmptyInputIsHeaderOnlyStream) {
+  const auto packed = compress(std::vector<uint8_t>{});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  EXPECT_TRUE(info.blocked);
+  EXPECT_EQ(info.raw_size, 0u);
+  EXPECT_TRUE(info.blocks.empty());
+  std::vector<uint8_t> out{1, 2, 3};
+  ASSERT_EQ(decompress(packed, out), Status::ok);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CodecBlocked, InputSmallerThanOneBlockIsSingleBlock) {
+  const auto input = compressible_blob(100, 5);
+  const auto packed = compress(input);  // default 1 MiB blocks
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  ASSERT_EQ(info.blocks.size(), 1u);
+  EXPECT_EQ(info.blocks[0].raw_size, input.size());
+  EXPECT_EQ(info.blocks[0].checksum, xxhash64(input.data(), input.size()));
+}
+
+TEST(CodecBlocked, DirectoryCoversEveryBlockWithChecksums) {
+  const size_t n = 3 * kSmallBlock + 123;
+  const auto input = compressible_blob(n, 6);
+  const auto packed = compress(input, {kSmallBlock, 0});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  EXPECT_EQ(info.block_size, kSmallBlock);
+  ASSERT_EQ(info.blocks.size(), 4u);
+  uint64_t raw_total = 0;
+  for (size_t b = 0; b < info.blocks.size(); ++b) {
+    const BlockInfo& bi = info.blocks[b];
+    raw_total += bi.raw_size;
+    EXPECT_EQ(bi.checksum,
+              xxhash64(input.data() + b * kSmallBlock, size_t(bi.raw_size)));
+    EXPECT_EQ(bi.mode, packed[size_t(bi.offset)]);
+  }
+  EXPECT_EQ(raw_total, input.size());
+}
+
+TEST(CodecBlocked, IncompressibleBlocksStoreRawPerBlock) {
+  // Random halves force kModeRaw; a compressible half stays kModeLz — the
+  // fallback decision is per block, not per stream.
+  auto input = random_blob(2 * kSmallBlock, 7);
+  const auto tail = compressible_blob(kSmallBlock, 8);
+  input.insert(input.end(), tail.begin(), tail.end());
+  const auto packed = compress(input, {kSmallBlock, 0});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  ASSERT_EQ(info.blocks.size(), 3u);
+  EXPECT_EQ(info.blocks[0].mode, 0);  // raw
+  EXPECT_EQ(info.blocks[1].mode, 0);  // raw
+  EXPECT_EQ(info.blocks[2].mode, 1);  // LZ
+  // A raw block costs exactly its size plus the mode byte.
+  EXPECT_EQ(info.blocks[0].comp_size, kSmallBlock + 1);
+  std::vector<uint8_t> out;
+  ASSERT_EQ(decompress(packed, out), Status::ok);
+  EXPECT_EQ(out, input);
+}
+
+TEST(CodecBlocked, MatchesNeverSpanBlockBoundaries) {
+  // Highly repetitive data maximizes the temptation to match across the
+  // boundary. If blocks are truly independent, block b of an N-block stream
+  // is byte-identical to block 0 of compressing that slice alone.
+  std::vector<uint8_t> input;
+  for (size_t i = 0; i < 2 * kSmallBlock; ++i) input.push_back(uint8_t(i % 251));
+  const auto packed = compress(input, {kSmallBlock, 0});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  ASSERT_EQ(info.blocks.size(), 2u);
+
+  const std::vector<uint8_t> second_half(input.begin() + long(kSmallBlock), input.end());
+  const auto alone = compress(second_half, {kSmallBlock, 0});
+  StreamInfo alone_info;
+  ASSERT_EQ(inspect(alone.data(), alone.size(), alone_info), Status::ok);
+  ASSERT_EQ(alone_info.blocks.size(), 1u);
+
+  const BlockInfo& in_stream = info.blocks[1];
+  const BlockInfo& standalone = alone_info.blocks[0];
+  ASSERT_EQ(in_stream.comp_size, standalone.comp_size);
+  EXPECT_TRUE(std::equal(packed.begin() + long(in_stream.offset),
+                         packed.begin() + long(in_stream.offset) + in_stream.comp_size,
+                         alone.begin() + long(standalone.offset)));
+}
+
+// --- corruption reporting ----------------------------------------------------
+
+TEST(CodecBlocked, FlippedPayloadBitReportsTheCorruptBlock) {
+  const auto input = compressible_blob(4 * kSmallBlock, 9);
+  auto packed = compress(input, {kSmallBlock, 0});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  ASSERT_EQ(info.blocks.size(), 4u);
+
+  for (size_t victim = 0; victim < 4; ++victim) {
+    auto corrupted = packed;
+    // Flip one bit in the middle of the victim block's payload.
+    const size_t at = size_t(info.blocks[victim].offset) +
+                      info.blocks[victim].comp_size / 2;
+    corrupted[at] ^= 0x10;
+    std::vector<uint8_t> out;
+    size_t bad = SIZE_MAX;
+    EXPECT_EQ(decompress(corrupted.data(), corrupted.size(), out, &bad),
+              Status::corrupt_block);
+    EXPECT_EQ(bad, victim);
+  }
+}
+
+TEST(CodecBlocked, FlippedDirectoryChecksumReportsTheBlock) {
+  const auto input = compressible_blob(2 * kSmallBlock, 10);
+  auto packed = compress(input, {kSmallBlock, 0});
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  // Directory entry b sits at 18 + 12*b: comp_size(u32) then checksum(u64).
+  packed[18 + 12 * 1 + 4] ^= 0xff;  // second block's checksum
+  std::vector<uint8_t> out;
+  size_t bad = SIZE_MAX;
+  EXPECT_EQ(decompress(packed.data(), packed.size(), out, &bad),
+            Status::corrupt_block);
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(CodecBlocked, TruncationIsAFramingErrorNotACrash) {
+  const auto input = compressible_blob(3 * kSmallBlock, 11);
+  auto packed = compress(input, {kSmallBlock, 0});
+  for (const size_t keep : {size_t(0), size_t(1), size_t(10), size_t(17),
+                            size_t(30), packed.size() / 2, packed.size() - 1}) {
+    std::vector<uint8_t> cut(packed.begin(), packed.begin() + long(keep));
+    std::vector<uint8_t> out;
+    EXPECT_NE(decompress(cut.data(), cut.size(), out), Status::ok);
+  }
+}
+
+TEST(CodecBlocked, BlockSizeIsClampedToTheSupportedRange) {
+  const auto input = compressible_blob(10000, 12);
+  const auto packed = compress(input, {1, 0});  // absurdly small, clamped to 4 KiB
+  StreamInfo info;
+  ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
+  EXPECT_EQ(info.block_size, size_t(1) << 12);
+  std::vector<uint8_t> out;
+  ASSERT_EQ(decompress(packed, out), Status::ok);
+  EXPECT_EQ(out, input);
+}
+
+TEST(CodecBlocked, ExplicitThreadCountsAgreeByteForByte) {
+  const auto input = compressible_blob(5 * kSmallBlock + 7, 13);
+  const auto serial = compress(input, {kSmallBlock, 1});
+  const auto parallel = compress(input, {kSmallBlock, 8});
+  EXPECT_EQ(serial, parallel);
+  std::vector<uint8_t> out;
+  ASSERT_EQ(decompress(parallel.data(), parallel.size(), out, nullptr, 8), Status::ok);
+  EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace sperr::lossless

@@ -19,6 +19,7 @@
 #include "speck/common.h"
 #include "speck/decoder.h"
 #include "speck/encoder.h"
+#include "sperr/header.h"
 #include "sperr/sperr.h"
 #include "wavelet/dwt.h"
 
@@ -97,6 +98,61 @@ TEST(Robustness, LosslessCodecSurvivesFuzz) {
     std::vector<uint8_t> out;
     (void)lossless::decompress(bytes.data(), bytes.size(), out);
   });
+}
+
+TEST(Robustness, BlockedLosslessSurvivesFuzz) {
+  // Same fuzz aimed at the block-parallel framing: a multi-block stream with
+  // a mix of LZ and raw blocks, small blocks so the directory is a real
+  // attack surface.
+  std::vector<uint8_t> payload(6 * 4096 + 321);
+  Rng rng(9);
+  for (size_t i = 0; i < payload.size(); ++i)
+    payload[i] = i % 3 ? uint8_t(i % 251) : uint8_t(rng.next());
+  const auto packed = lossless::compress(payload, {4096, 0});
+  fuzz_decoder(packed, 1011, [](const std::vector<uint8_t>& bytes) {
+    std::vector<uint8_t> out;
+    size_t bad = 0;
+    (void)lossless::decompress(bytes.data(), bytes.size(), out, &bad);
+  });
+}
+
+TEST(Robustness, FlippedLosslessPayloadBitIsBlockIndexed) {
+  // The tentpole's corruption contract, end to end: one flipped bit inside a
+  // lossless block payload of a real SPERR archive must surface as
+  // Status::corrupt_block naming that block — not a crash, not silent
+  // garbage, not a vague error.
+  const auto blob = make_blob();
+  ASSERT_GT(blob.size(), 14u);
+  ASSERT_EQ(blob[5], 1u) << "archive should carry a lossless payload";
+
+  constexpr size_t kOuterBytes = 14;  // magic + version + flag + length
+  lossless::StreamInfo info;
+  ASSERT_EQ(lossless::inspect(blob.data() + kOuterBytes, blob.size() - kOuterBytes,
+                              info),
+            Status::ok);
+  ASSERT_TRUE(info.blocked);
+  ASSERT_FALSE(info.blocks.empty());
+
+  Rng rng(1012);
+  for (int i = 0; i < 40; ++i) {
+    const size_t victim = rng.below(info.blocks.size());
+    const auto& bi = info.blocks[victim];
+    auto bad = blob;
+    const size_t byte =
+        kOuterBytes + size_t(bi.offset) + rng.below(size_t(bi.comp_size));
+    bad[byte] ^= uint8_t(1u << rng.below(8));
+
+    std::vector<uint8_t> inner;
+    size_t bad_block = SIZE_MAX;
+    ASSERT_EQ(unwrap_container(bad.data(), bad.size(), inner, &bad_block),
+              Status::corrupt_block);
+    ASSERT_EQ(bad_block, victim);
+
+    // And through the public API: a clean error, never a silent field.
+    std::vector<double> out;
+    Dims od;
+    ASSERT_EQ(decompress(bad.data(), bad.size(), out, od), Status::corrupt_block);
+  }
 }
 
 TEST(Robustness, OutlierDecoderSurvivesFuzz) {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by CI's docs job and the docs_check
+# ctest:
+#   1. every relative markdown link in README.md and docs/*.md resolves to a
+#      file or directory that exists;
+#   2. every `src/...` (also docs/, tools/, bench/, tests/, scripts/) path
+#      README.md or docs/*.md names in backticks exists on disk, so the
+#      architecture table cannot drift from the tree.
+# External (http/https/mailto) links are not fetched: CI must not depend on
+# network reachability.
+
+set -u
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+check_exists() {
+  # $1 = path relative to $2; succeeds for files, dirs, and glob patterns
+  # that match at least one entry.
+  local target="$1" base="$2"
+  case "$target" in
+    *'*'*)
+      compgen -G "$base/$target" > /dev/null
+      return
+      ;;
+  esac
+  [ -e "$base/$target" ]
+}
+
+# --- 1. relative markdown links ---------------------------------------------
+for f in "$ROOT"/README.md "$ROOT"/docs/*.md; do
+  dir="$(dirname "$f")"
+  while IFS= read -r link; do
+    case "$link" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    target="${link%%#*}"   # drop in-page anchors
+    [ -z "$target" ] && continue
+    if ! check_exists "$target" "$dir"; then
+      echo "BROKEN LINK: ${f#"$ROOT"/} -> $link"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/^\[[^]]*\](\(.*\))$/\1/')
+done
+
+# --- 2. backticked repo paths -----------------------------------------------
+for f in "$ROOT"/README.md "$ROOT"/docs/*.md; do
+  while IFS= read -r path; do
+    path="${path%\`}"
+    path="${path#\`}"
+    # Tolerate `path:line` references and trailing slashes.
+    path="$(printf '%s' "$path" | sed 's/:[0-9]*$//; s:/$::')"
+    if ! check_exists "$path" "$ROOT"; then
+      echo "MISSING PATH: ${f#"$ROOT"/} names \`$path\`"
+      fail=1
+    fi
+  done < <(grep -o '`\(src\|docs\|tools\|bench\|tests\|scripts\)/[^` ]*`' "$f")
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"

@@ -222,8 +222,15 @@ int cmd_info(const Args& args) {
   const auto blob = read_file(args.positional[1]);
 
   std::vector<uint8_t> inner;
-  if (sperr::unwrap_container(blob.data(), blob.size(), inner) != sperr::Status::ok) {
-    std::fprintf(stderr, "error: not a SPERR container\n");
+  size_t bad_block = 0;
+  const sperr::Status us =
+      sperr::unwrap_container(blob.data(), blob.size(), inner, &bad_block);
+  if (us == sperr::Status::corrupt_block) {
+    std::fprintf(stderr, "error: lossless block %zu failed its checksum\n", bad_block);
+    return 1;
+  }
+  if (us != sperr::Status::ok) {
+    std::fprintf(stderr, "error: not a SPERR container (%s)\n", to_string(us));
     return 1;
   }
   sperr::ByteReader br(inner.data(), inner.size());
@@ -249,6 +256,23 @@ int cmd_info(const Args& args) {
               speck, outl);
   std::printf("container:   %zu bytes (%.3f bits/pt)\n", blob.size(),
               double(blob.size()) * 8 / double(hdr.dims.total()));
+
+  // The outer wrapper is magic(4) + version(1) + lossless(1) + len(8); the
+  // lossless payload (when present) starts right after it.
+  constexpr size_t kOuterBytes = 14;
+  if (blob.size() > kOuterBytes && blob[4 + 1] == 1) {
+    sperr::lossless::StreamInfo li;
+    if (sperr::lossless::inspect(blob.data() + kOuterBytes, blob.size() - kOuterBytes,
+                                 li) == sperr::Status::ok &&
+        li.blocked) {
+      size_t raw_blocks = 0;
+      for (const auto& b : li.blocks) raw_blocks += b.mode == 0;
+      std::printf("lossless:    %zu block(s) of %zu KiB, %zu stored raw, checksummed\n",
+                  li.blocks.size(), li.block_size >> 10, raw_blocks);
+    } else {
+      std::printf("lossless:    single-block reference framing (no checksums)\n");
+    }
+  }
   return 0;
 }
 
