@@ -13,6 +13,9 @@
 // single-block reference on a real SPERR container payload:
 //   bench_micro --lossless_json=BENCH_lossless.json [--lossless_n=256]
 //               [--lossless_threads=8]
+// A fifth mode records the cost of the fault-isolation layer: checksum
+// verification overhead and tolerant decode of a damaged archive:
+//   bench_micro --recovery_json=BENCH_recovery.json [--recovery_n=128]
 
 #include <benchmark/benchmark.h>
 
@@ -566,18 +569,128 @@ int write_lossless_json(const std::string& path, size_t n, int repeats, int thre
   return 0;
 }
 
+// --- BENCH_recovery.json: fault-isolation overhead record ------------------
+
+struct RecoveryRecord {
+  Dims dims;
+  int repeats = 3;
+  size_t nchunks = 0;
+  size_t blob_bytes = 0;
+  double strict_decode_s = 1e300;    // best-of-repeats, plain decompress
+  double verify_s = 1e300;           // verify_container (checksums only)
+  double tolerant_clean_s = 1e300;   // decompress_tolerant, nothing damaged
+  double zero_fill_damaged_s = 1e300;
+  double coarse_fill_damaged_s = 1e300;
+  bool recovery_ok = false;  // damaged decode succeeded and isolated the chunk
+};
+
+RecoveryRecord run_recovery_record(size_t n, int repeats) {
+  RecoveryRecord rec;
+  rec.dims = Dims{n, n, n};
+  rec.repeats = repeats;
+
+  // Lossless pass off so the damage lands verbatim in one chunk's streams
+  // (checksum verification cost is the same either way).
+  const auto vol = sperr::data::miranda_pressure(rec.dims);
+  sperr::Config cfg;
+  cfg.tolerance = sperr::tolerance_from_idx(vol.data(), vol.size(), 20);
+  cfg.chunk_dims = Dims{n / 2, n / 2, n / 2};  // 8 chunks
+  cfg.lossless_pass = false;
+  const auto blob = sperr::compress(vol.data(), rec.dims, cfg);
+  rec.blob_bytes = blob.size();
+
+  auto damaged = blob;
+  damaged[blob.size() / 2] ^= 0x40;  // mid-file: inside some chunk's streams
+
+  sperr::Timer timer;
+  std::vector<double> out;
+  sperr::Dims od;
+  for (int r = 0; r < repeats; ++r) {
+    timer.reset();
+    (void)sperr::decompress(blob.data(), blob.size(), out, od);
+    rec.strict_decode_s = std::min(rec.strict_decode_s, timer.seconds());
+
+    timer.reset();
+    sperr::DecodeReport vrep;
+    (void)sperr::verify_container(blob.data(), blob.size(), &vrep);
+    rec.verify_s = std::min(rec.verify_s, timer.seconds());
+    rec.nchunks = vrep.chunks.size();
+
+    timer.reset();
+    (void)sperr::decompress_tolerant(blob.data(), blob.size(),
+                                     sperr::Recovery::zero_fill, out, od, nullptr);
+    rec.tolerant_clean_s = std::min(rec.tolerant_clean_s, timer.seconds());
+
+    timer.reset();
+    sperr::DecodeReport zrep;
+    const sperr::Status zs =
+        sperr::decompress_tolerant(damaged.data(), damaged.size(),
+                                   sperr::Recovery::zero_fill, out, od, &zrep);
+    rec.zero_fill_damaged_s = std::min(rec.zero_fill_damaged_s, timer.seconds());
+    rec.recovery_ok = zs == sperr::Status::ok && zrep.damaged == 1;
+
+    timer.reset();
+    (void)sperr::decompress_tolerant(damaged.data(), damaged.size(),
+                                     sperr::Recovery::coarse_fill, out, od, nullptr);
+    rec.coarse_fill_damaged_s = std::min(rec.coarse_fill_damaged_s, timer.seconds());
+  }
+  return rec;
+}
+
+int write_recovery_json(const std::string& path, size_t n, int repeats) {
+  const RecoveryRecord rec = run_recovery_record(n, repeats);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"benchmark\": \"recovery_tolerant_decode\",\n"
+      "  \"dims\": [%zu, %zu, %zu],\n"
+      "  \"repeats\": %d,\n"
+      "  \"nchunks\": %zu,\n"
+      "  \"blob_bytes\": %zu,\n"
+      "  \"strict_decode_seconds\": %.6f,\n"
+      "  \"verify_seconds\": %.6f,\n"
+      "  \"tolerant_clean_seconds\": %.6f,\n"
+      "  \"zero_fill_damaged_seconds\": %.6f,\n"
+      "  \"coarse_fill_damaged_seconds\": %.6f,\n"
+      "  \"verify_vs_decode\": %.4f,\n"
+      "  \"tolerant_overhead\": %.4f,\n"
+      "  \"recovery_ok\": %s\n"
+      "}\n",
+      rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats, rec.nchunks,
+      rec.blob_bytes, rec.strict_decode_s, rec.verify_s, rec.tolerant_clean_s,
+      rec.zero_fill_damaged_s, rec.coarse_fill_damaged_s,
+      rec.verify_s / rec.strict_decode_s,
+      rec.tolerant_clean_s / rec.strict_decode_s - 1.0,
+      rec.recovery_ok ? "true" : "false");
+  out << buf;
+  std::printf("%s", buf);
+  // A tolerant decoder that cannot isolate a single flipped bit is a
+  // correctness regression: fail so CI notices.
+  if (!rec.recovery_ok) return 2;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string speck_json_path;
   std::string lossless_json_path;
+  std::string recovery_json_path;
   size_t wavelet_n = 256;
   size_t speck_n = 256;
   size_t lossless_n = 256;
+  size_t recovery_n = 128;
   int repeats = 3;
   int speck_repeats = 3;
   int lossless_repeats = 3;
+  int recovery_repeats = 3;
   int lossless_threads = 8;
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -602,6 +715,12 @@ int main(int argc, char** argv) {
       lossless_repeats = std::stoi(arg.substr(std::strlen("--lossless_repeats=")));
     } else if (arg.rfind("--lossless_threads=", 0) == 0) {
       lossless_threads = std::stoi(arg.substr(std::strlen("--lossless_threads=")));
+    } else if (arg.rfind("--recovery_json=", 0) == 0) {
+      recovery_json_path = arg.substr(std::strlen("--recovery_json="));
+    } else if (arg.rfind("--recovery_n=", 0) == 0) {
+      recovery_n = std::stoul(arg.substr(std::strlen("--recovery_n=")));
+    } else if (arg.rfind("--recovery_repeats=", 0) == 0) {
+      recovery_repeats = std::stoi(arg.substr(std::strlen("--recovery_repeats=")));
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -612,6 +731,8 @@ int main(int argc, char** argv) {
   if (!lossless_json_path.empty())
     return write_lossless_json(lossless_json_path, lossless_n, lossless_repeats,
                                lossless_threads);
+  if (!recovery_json_path.empty())
+    return write_recovery_json(recovery_json_path, recovery_n, recovery_repeats);
 
   int pass_argc = int(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -34,6 +34,8 @@ class ByteReader {
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] size_t pos() const { return pos_; }
+  /// Underlying buffer (for checksumming already-consumed header bytes).
+  [[nodiscard]] const uint8_t* base() const { return data_; }
   [[nodiscard]] size_t remaining() const { return pos_ <= size_ ? size_ - pos_ : 0; }
 
  private:

@@ -61,6 +61,7 @@ enum class Status {
   corrupt_stream,    ///< header/magic/version mismatch or inconsistent payload
   invalid_argument,  ///< caller passed an unusable parameter (e.g. tolerance <= 0)
   corrupt_block,     ///< a lossless block failed its checksum; the block index is reported
+  corrupt_chunk,     ///< a container chunk failed its checksum; the chunk index is reported
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -70,6 +71,7 @@ enum class Status {
     case Status::corrupt_stream: return "corrupt_stream";
     case Status::invalid_argument: return "invalid_argument";
     case Status::corrupt_block: return "corrupt_block";
+    case Status::corrupt_chunk: return "corrupt_chunk";
   }
   return "unknown";
 }

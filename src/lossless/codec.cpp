@@ -398,8 +398,12 @@ Status decode_block(const uint8_t* p, size_t comp, uint8_t* dst, size_t raw,
 }
 
 /// Parse + validate the blocked framing and directory. Fills `info` (offsets,
-/// per-block raw sizes, modes) without decoding any payload.
-Status parse_blocked(const uint8_t* data, size_t size, StreamInfo& info) {
+/// per-block raw sizes, modes) without decoding any payload. `tolerant`
+/// relaxes the payload-extent checks (truncated or shifted payloads parse;
+/// per-block bounds are enforced at decode time instead) — the header and
+/// directory must still be fully present and plausible either way.
+Status parse_blocked(const uint8_t* data, size_t size, StreamInfo& info,
+                     bool tolerant = false) {
   ByteReader hdr(data, size);
   (void)hdr.u8();  // format byte, already dispatched on
   const uint8_t reserved = hdr.u8();
@@ -425,8 +429,14 @@ Status parse_blocked(const uint8_t* data, size_t size, StreamInfo& info) {
     info.blocks[b].checksum = hdr.u64();
     payload_total += info.blocks[b].comp_size;
   }
-  if (payload_total > hdr.remaining()) return Status::truncated_stream;
-  if (payload_total < hdr.remaining()) return Status::corrupt_stream;
+  if (payload_total > hdr.remaining() && !tolerant) return Status::truncated_stream;
+  if (payload_total < hdr.remaining() && !tolerant) return Status::corrupt_stream;
+  // Tolerant parsing skips the per-block expansion check below, so bound the
+  // total allocation against the bytes actually present instead: nothing can
+  // legitimately expand by more than kMaxExpansion.
+  if (tolerant &&
+      raw_size > (uint64_t(hdr.remaining()) + 64 * uint64_t(nb) + 64) * kMaxExpansion)
+    return Status::corrupt_stream;
 
   uint64_t off = hdr.pos();
   for (uint32_t b = 0; b < nb; ++b) {
@@ -436,8 +446,9 @@ Status parse_blocked(const uint8_t* data, size_t size, StreamInfo& info) {
     bi.raw_size = b + 1 < nb ? bs : raw_size - uint64_t(bs) * (nb - 1);
     bi.mode = bi.comp_size > 0 && bi.offset < size ? data[bi.offset] : 0;
     // Directory entries promising implausible expansion are rejected before
-    // any allocation is sized from them.
-    if (bi.raw_size > uint64_t(bi.comp_size) * kMaxExpansion + 64)
+    // any allocation is sized from them (tolerant decoding instead marks the
+    // block bad when its payload turns out undecodable).
+    if (!tolerant && bi.raw_size > uint64_t(bi.comp_size) * kMaxExpansion + 64)
       return Status::corrupt_stream;
   }
   return Status::ok;
@@ -522,6 +533,55 @@ Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
     }
   }
   return Status::ok;
+}
+
+Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                           std::vector<size_t>& bad_blocks, int num_threads) {
+  (void)num_threads;
+  bad_blocks.clear();
+  out.clear();
+  if (size == 0) return Status::truncated_stream;
+  const uint8_t fmt = data[0];
+  // Reference framing carries no block structure: all-or-nothing.
+  if (fmt == kModeRaw || fmt == kModeLz) {
+    const Status s = decode_reference(data, size, out);
+    if (s != Status::ok) out.clear();
+    return s;
+  }
+  if (fmt != kFmtBlocked) return Status::corrupt_stream;
+
+  StreamInfo info;
+  const Status parsed = parse_blocked(data, size, info, /*tolerant=*/true);
+  if (parsed != Status::ok) return parsed;
+
+  out.resize(size_t(info.raw_size));
+  const size_t nb = info.blocks.size();
+  std::vector<Status> block_status(nb, Status::ok);
+
+#ifdef SPERR_HAVE_OPENMP
+  const int nt = num_threads > 0 ? num_threads : omp_get_max_threads();
+#pragma omp parallel for schedule(dynamic) num_threads(nt)
+#endif
+  for (int64_t b = 0; b < int64_t(nb); ++b) {
+    const BlockInfo& bi = info.blocks[size_t(b)];
+    uint8_t* dst = out.data() + size_t(b) * info.block_size;
+    Status st = Status::ok;
+    if (bi.offset + bi.comp_size > size) {
+      st = Status::truncated_stream;  // payload cut off under this block
+    } else {
+      thread_local DecScratch scratch;
+      st = decode_block(data + bi.offset, bi.comp_size, dst, size_t(bi.raw_size),
+                        scratch);
+    }
+    if (st != Status::ok) std::fill(dst, dst + size_t(bi.raw_size), uint8_t(0));
+    if (st == Status::ok && xxhash64(dst, size_t(bi.raw_size)) != bi.checksum)
+      st = Status::corrupt_block;
+    block_status[size_t(b)] = st;
+  }
+
+  for (size_t b = 0; b < nb; ++b)
+    if (block_status[b] != Status::ok) bad_blocks.push_back(b);
+  return bad_blocks.empty() ? Status::ok : Status::corrupt_block;
 }
 
 Status inspect(const uint8_t* data, size_t size, StreamInfo& info) {

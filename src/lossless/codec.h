@@ -65,6 +65,21 @@ inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>&
   return decompress(data.data(), data.size(), out, corrupt_block, num_threads);
 }
 
+/// Like decompress(), but keep going past damaged blocks: every block is
+/// decoded best-effort, the raw-byte range of any block that fails
+/// structural decoding is zero-filled, `bad_blocks` receives the sorted
+/// indices of all blocks that failed (structurally or by checksum), and
+/// `out` always has the full advertised raw size — so upper layers with
+/// their own integrity data can salvage whatever the bad blocks did not
+/// cover. A truncated stream with an intact directory marks the missing
+/// tail blocks bad instead of rejecting the whole stream. Returns ok when
+/// `bad_blocks` is empty, corrupt_block otherwise; damage to the header or
+/// directory itself is unrecoverable (corrupt_stream/truncated_stream, with
+/// `out` cleared). Reference-framing streams carry no blocks: they decode
+/// all-or-nothing exactly as in decompress().
+Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                           std::vector<size_t>& bad_blocks, int num_threads = 0);
+
 /// Reference single-block codec: one serial LZ77+Huffman pass over the whole
 /// input, no directory, no checksums (the pre-block-rewrite format).
 std::vector<uint8_t> encode_reference(const uint8_t* data, size_t size);

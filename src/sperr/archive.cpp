@@ -74,6 +74,20 @@ Status Reader::extract(const std::string& name, std::vector<double>& out,
   return decompress(blob->data(), blob->size(), out, dims);
 }
 
+Status Reader::extract_tolerant(const std::string& name, Recovery policy,
+                                std::vector<double>& out, Dims& dims,
+                                DecodeReport* report) const {
+  const auto* blob = container(name);
+  if (!blob) return Status::invalid_argument;
+  return decompress_tolerant(blob->data(), blob->size(), policy, out, dims, report);
+}
+
+Status Reader::verify(const std::string& name, DecodeReport* report) const {
+  const auto* blob = container(name);
+  if (!blob) return Status::invalid_argument;
+  return verify_container(blob->data(), blob->size(), report);
+}
+
 const std::vector<uint8_t>* Reader::container(const std::string& name) const {
   const auto it = std::find(names_.begin(), names_.end(), name);
   if (it == names_.end()) return nullptr;

@@ -58,6 +58,16 @@ class Reader {
   Status extract(const std::string& name, std::vector<double>& out,
                  Dims& dims) const;
 
+  /// Fault-isolated extract: sperr::decompress_tolerant semantics on one
+  /// variable (damage in other variables' containers does not matter here —
+  /// each blob is independent by construction).
+  Status extract_tolerant(const std::string& name, Recovery policy,
+                          std::vector<double>& out, Dims& dims,
+                          DecodeReport* report = nullptr) const;
+
+  /// Integrity audit of one variable's container (sperr::verify_container).
+  Status verify(const std::string& name, DecodeReport* report = nullptr) const;
+
   /// Raw container bytes for one variable (for re-bundling / inspection).
   [[nodiscard]] const std::vector<uint8_t>* container(const std::string& name) const;
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/arena.h"
+#include "common/checksum.h"
 #include "common/stats.h"
 #include "sperr/chunker.h"
 #include "sperr/header.h"
@@ -38,6 +39,7 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
 
   const auto chunks = make_chunks(dims, cfg.chunk_dims);
   std::vector<pipeline::ChunkStream> streams(chunks.size());
+  std::vector<double> means(chunks.size(), 0.0);
 
 #ifdef SPERR_HAVE_OPENMP
   const int nt = cfg.num_threads > 0 ? cfg.num_threads : omp_get_max_threads();
@@ -52,6 +54,11 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
     arena.reset();
     double* buf = arena.alloc<double>(c.dims.total());
     gather_chunk(data, dims, c, buf);
+    // Chunk mean goes into the v3 directory: the DC fallback for coarse_fill
+    // recovery when a damaged chunk's SPECK stream is beyond salvage.
+    double sum = 0.0;
+    for (size_t k = 0; k < c.dims.total(); ++k) sum += buf[k];
+    means[i] = sum / double(c.dims.total());
     if (cfg.mode == Mode::pwe) {
       streams[i] = pipeline::encode_pwe(buf, c.dims, cfg.tolerance, cfg.q_over_t,
                                         nullptr, &arena);
@@ -72,8 +79,20 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
   hdr.quality = cfg.mode == Mode::pwe ? cfg.tolerance
                 : cfg.mode == Mode::target_rmse ? cfg.rmse
                                                 : cfg.bpp;
-  for (const auto& s : streams)
-    hdr.chunk_lens.emplace_back(s.speck.size(), s.outlier.size());
+  std::vector<uint8_t> cat;  // scratch to hash speck‖outlier contiguously
+  for (size_t i = 0; i < streams.size(); ++i) {
+    const auto& s = streams[i];
+    ChunkEntry e(s.speck.size(), s.outlier.size());
+    if (s.outlier.empty()) {
+      e.checksum = xxhash64(s.speck.data(), s.speck.size());
+    } else {
+      cat.assign(s.speck.begin(), s.speck.end());
+      cat.insert(cat.end(), s.outlier.begin(), s.outlier.end());
+      e.checksum = xxhash64(cat.data(), cat.size());
+    }
+    e.mean = means[i];
+    hdr.entries.push_back(e);
+  }
 
   std::vector<uint8_t> inner;
   hdr.serialize(inner);

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -94,6 +95,64 @@ struct StageTiming {
     lossless_s += o.lossless_s;
     bytes += o.bytes;
     return *this;
+  }
+};
+
+/// What decompress_tolerant does with a chunk that fails verification or
+/// decoding (v3 containers checksum every chunk, so damage is attributed to
+/// exact chunk indices; see docs/FORMAT.md "Recovery semantics").
+enum class Recovery : uint8_t {
+  fail_fast = 0,    ///< report the first damaged chunk and give up (classic behavior)
+  zero_fill = 1,    ///< damaged chunks come back as zeros; good chunks are untouched
+  coarse_fill = 2,  ///< reconstruct damaged chunks from whatever SPECK prefix still
+                    ///< decodes, falling back to the stored chunk-mean DC value
+};
+
+/// What recovery actually did to a damaged chunk.
+enum class ChunkAction : uint8_t {
+  none = 0,    ///< chunk decoded clean (or fail_fast left it as-is)
+  zeroed = 1,  ///< region filled with zeros
+  coarse = 2,  ///< best-effort SPECK decode (outlier corrections skipped)
+  dc_fill = 3, ///< region filled with the directory's chunk mean
+};
+
+/// Per-chunk verdict from a tolerant decode or a verify pass.
+struct ChunkReport {
+  size_t index = 0;
+  Status status = Status::ok;     ///< this chunk's decode/verification verdict
+  bool checksum_present = false;  ///< v3 containers carry per-chunk checksums
+  bool checksum_ok = false;       ///< stored == computed (false when absent)
+  uint64_t checksum_stored = 0;
+  uint64_t checksum_computed = 0;
+  uint64_t offset = 0;       ///< byte offset of the chunk's streams in the inner container
+  uint64_t speck_len = 0;    ///< advertised SPECK stream length
+  uint64_t outlier_len = 0;  ///< advertised outlier stream length
+  ChunkAction action = ChunkAction::none;
+  double seconds = 0.0;  ///< wall-clock time spent verifying + decoding this chunk
+
+  [[nodiscard]] bool damaged() const { return status != Status::ok; }
+};
+
+/// Full result of decompress_tolerant / verify_container: overall verdict
+/// plus one ChunkReport per chunk, in chunk order.
+struct DecodeReport {
+  Status status = Status::ok;  ///< ok only when every chunk verified and decoded clean
+  bool field_valid = false;    ///< the output field is usable (possibly recovered)
+  bool header_ok = false;      ///< wrapper + container header + directory parsed
+  uint8_t version = 0;         ///< container version (3 = per-chunk integrity)
+  Recovery policy = Recovery::fail_fast;
+  size_t damaged = 0;    ///< chunks that failed verification or decoding
+  size_t recovered = 0;  ///< damaged chunks patched by the recovery policy
+  std::vector<size_t> lossless_bad_blocks;  ///< corrupt blocks in the lossless payload
+  std::vector<ChunkReport> chunks;
+  double seconds = 0.0;
+
+  /// Lowest damaged chunk index (SIZE_MAX when none) — deterministic even
+  /// when chunks decode in parallel.
+  [[nodiscard]] size_t first_damaged() const {
+    for (const ChunkReport& c : chunks)
+      if (c.damaged()) return c.index;
+    return size_t(-1);
   }
 };
 

@@ -1,100 +1,45 @@
 #include <algorithm>
 
-#include "common/arena.h"
 #include "common/byteio.h"
-#include "sperr/chunker.h"
+#include "common/checksum.h"
 #include "sperr/header.h"
 #include "sperr/pipeline.h"
 #include "sperr/sperr.h"
 
-#ifdef SPERR_HAVE_OPENMP
-#include <omp.h>
-#endif
-
 namespace sperr {
 
 Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
-                  Dims& dims) try {
-  std::vector<uint8_t> inner;
-  if (const Status s = unwrap_container(stream, nbytes, inner); s != Status::ok)
-    return s;
-
-  ByteReader br(inner.data(), inner.size());
-  ContainerHeader hdr;
-  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
-
-  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
-  if (chunks.size() != hdr.chunk_lens.size()) return Status::corrupt_stream;
-
-  // Slice the payload into per-chunk streams up front so chunks can decode
-  // in parallel.
-  struct Slice {
-    const uint8_t* speck;
-    size_t speck_len;
-    const uint8_t* outlier;
-    size_t outlier_len;
-  };
-  std::vector<Slice> slices(chunks.size());
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    const auto [sl, ol] = hdr.chunk_lens[i];
-    const uint8_t* sp = br.raw(sl);
-    const uint8_t* op = br.raw(ol);
-    if ((sl && !sp) || (ol && !op)) return Status::truncated_stream;
-    slices[i] = {sp, sl, op, ol};
-  }
-
-  dims = hdr.dims;
-  out.assign(dims.total(), 0.0);
-  Status status = Status::ok;
-
-#ifdef SPERR_HAVE_OPENMP
-#pragma omp parallel for schedule(dynamic)
-#endif
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    const Chunk& c = chunks[i];
-    // Decode straight from the container slices (no per-chunk stream
-    // copies); the chunk buffer and wavelet tiles live in this worker's
-    // reused arena.
-    Arena& arena = tls_arena();
-    arena.reset();
-    double* buf = arena.alloc<double>(c.dims.total());
-    std::fill(buf, buf + c.dims.total(), 0.0);
-    const Slice& s = slices[i];
-    const Status cs = pipeline::decode(s.speck, s.speck_len, s.outlier,
-                                       s.outlier_len, c.dims, buf, &arena);
-    if (cs != Status::ok) {
-#ifdef SPERR_HAVE_OPENMP
-#pragma omp critical
-#endif
-      status = cs;
-      continue;
-    }
-    scatter_chunk(buf, c, out.data(), dims);
-  }
-  return status;
-} catch (const std::bad_alloc&) {
-  // Untrusted headers can request absurd extents; treat OOM as corruption.
-  return Status::corrupt_stream;
+                  Dims& dims) {
+  // The strict decoder is the tolerant one pinned to fail_fast: every chunk
+  // is still verified and decoded, but any damage fails the whole call with
+  // the lowest damaged chunk index reported deterministically.
+  return decompress_tolerant(stream, nbytes, Recovery::fail_fast, out, dims);
 }
 
 Status decompress_lowres(const uint8_t* stream, size_t nbytes, size_t drop_levels,
                          std::vector<double>& out, Dims& coarse_dims) try {
   std::vector<uint8_t> inner;
-  if (const Status s = unwrap_container(stream, nbytes, inner); s != Status::ok)
-    return s;
-
-  ByteReader br(inner.data(), inner.size());
   ContainerHeader hdr;
-  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
-  if (hdr.chunk_lens.size() != 1) return Status::invalid_argument;
+  size_t payload_pos = 0;
+  if (const Status s = open_container(stream, nbytes, inner, hdr, &payload_pos);
+      s != Status::ok)
+    return s;
+  if (hdr.entries.size() != 1) return Status::invalid_argument;
 
-  const auto [speck_len, outlier_len] = hdr.chunk_lens[0];
-  const uint8_t* sp = br.raw(speck_len);
-  if (speck_len && !sp) return Status::truncated_stream;
-  const std::vector<uint8_t> speck(sp, sp + speck_len);
+  const ChunkEntry& e = hdr.entries[0];
+  if (payload_pos + e.speck_len > inner.size()) return Status::truncated_stream;
+  const uint8_t* sp = inner.data() + payload_pos;
+  if (hdr.has_integrity()) {
+    // Checksum covers speck‖outlier; verify it before trusting the stream.
+    if (payload_pos + e.total_len() > inner.size()) return Status::truncated_stream;
+    if (xxhash64(sp, size_t(e.total_len())) != e.checksum)
+      return Status::corrupt_chunk;
+  }
   // Outlier corrections live on the full-resolution grid; they do not apply
   // to a coarse reconstruction (their energy is within the tolerance anyway).
-  return pipeline::decode_lowres(speck, hdr.dims, drop_levels, out, coarse_dims);
+  // Decode straight from the container slice — no heap copy of the stream.
+  return pipeline::decode_lowres(sp, size_t(e.speck_len), hdr.dims, drop_levels,
+                                 out, coarse_dims);
 } catch (const std::bad_alloc&) {
   return Status::corrupt_stream;
 }

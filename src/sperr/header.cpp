@@ -1,11 +1,18 @@
 #include "sperr/header.h"
 
 #include "common/byteio.h"
+#include "common/checksum.h"
 #include "lossless/codec.h"
 
 namespace sperr {
 
+namespace {
+constexpr size_t kEntryBytesV2 = 16;  ///< u64 speck_len + u64 outlier_len
+constexpr size_t kEntryBytesV3 = 32;  ///< + u64 checksum + f64 mean
+}  // namespace
+
 void ContainerHeader::serialize(std::vector<uint8_t>& out) const {
+  const size_t start = out.size();
   put_u32(out, kInnerMagic);
   put_u8(out, uint8_t(mode));
   put_u8(out, precision);
@@ -16,14 +23,21 @@ void ContainerHeader::serialize(std::vector<uint8_t>& out) const {
   put_u64(out, chunk_dims.y);
   put_u64(out, chunk_dims.z);
   put_f64(out, quality);
-  put_u32(out, uint32_t(chunk_lens.size()));
-  for (const auto& [sl, ol] : chunk_lens) {
-    put_u64(out, sl);
-    put_u64(out, ol);
+  put_u32(out, uint32_t(entries.size()));
+  for (const ChunkEntry& e : entries) {
+    put_u64(out, e.speck_len);
+    put_u64(out, e.outlier_len);
+    put_u64(out, e.checksum);
+    put_f64(out, e.mean);
   }
+  // Self-checksum over every header byte so far: directory damage is caught
+  // before the lengths mis-slice the payload.
+  put_u64(out, xxhash64(out.data() + start, out.size() - start));
 }
 
-Status ContainerHeader::deserialize(ByteReader& br) {
+Status ContainerHeader::deserialize(ByteReader& br, uint8_t ver) {
+  const size_t start = br.pos();
+  version = ver;
   if (br.u32() != kInnerMagic) return Status::corrupt_stream;
   const uint8_t m = br.u8();
   if (m > uint8_t(Mode::target_rmse)) return Status::corrupt_stream;
@@ -40,15 +54,27 @@ Status ContainerHeader::deserialize(ByteReader& br) {
   const uint32_t n = br.u32();
   if (!br.ok()) return Status::truncated_stream;
   if (!plausible_dims(dims)) return Status::corrupt_stream;
-  // Each chunk entry occupies 16 header bytes; an n beyond that is garbage.
-  if (n > br.remaining() / 16) return Status::truncated_stream;
-  chunk_lens.clear();
-  chunk_lens.reserve(n);
+  const size_t entry_bytes = has_integrity() ? kEntryBytesV3 : kEntryBytesV2;
+  // An entry count beyond what the remaining bytes can hold is garbage.
+  if (n > br.remaining() / entry_bytes) return Status::truncated_stream;
+  entries.clear();
+  entries.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    const uint64_t sl = br.u64();
-    const uint64_t ol = br.u64();
+    ChunkEntry e;
+    e.speck_len = br.u64();
+    e.outlier_len = br.u64();
+    if (has_integrity()) {
+      e.checksum = br.u64();
+      e.mean = br.f64();
+    }
     if (!br.ok()) return Status::truncated_stream;
-    chunk_lens.emplace_back(sl, ol);
+    entries.push_back(e);
+  }
+  if (has_integrity()) {
+    const size_t hashed = br.pos() - start;
+    const uint64_t stored = br.u64();
+    if (!br.ok()) return Status::truncated_stream;
+    if (stored != xxhash64(br.base() + start, hashed)) return Status::corrupt_stream;
   }
   if (dims.total() == 0) return Status::corrupt_stream;
   return Status::ok;
@@ -70,12 +96,13 @@ std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless,
 }
 
 Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
-                        size_t* corrupt_block) {
+                        size_t* corrupt_block, uint8_t* version) {
   ByteReader br(data, size);
   if (br.u32() != ContainerHeader::kOuterMagic) return Status::corrupt_stream;
-  const uint8_t version = br.u8();
-  if (version < ContainerHeader::kMinVersion || version > ContainerHeader::kVersion)
+  const uint8_t ver = br.u8();
+  if (ver < ContainerHeader::kMinVersion || ver > ContainerHeader::kVersion)
     return Status::corrupt_stream;
+  if (version) *version = ver;
   const uint8_t lossless_flag = br.u8();
   const uint64_t len = br.u64();
   if (!br.ok()) return Status::truncated_stream;
@@ -84,6 +111,19 @@ Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& 
 
   if (lossless_flag) return lossless::decompress(payload, len, inner, corrupt_block);
   inner.assign(payload, payload + len);
+  return Status::ok;
+}
+
+Status open_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
+                      ContainerHeader& hdr, size_t* payload_pos,
+                      size_t* corrupt_block) {
+  uint8_t version = ContainerHeader::kVersion;
+  if (const Status s = unwrap_container(data, size, inner, corrupt_block, &version);
+      s != Status::ok)
+    return s;
+  ByteReader br(inner.data(), inner.size());
+  if (const Status s = hdr.deserialize(br, version); s != Status::ok) return s;
+  if (payload_pos) *payload_pos = br.pos();
   return Status::ok;
 }
 

@@ -4,10 +4,13 @@
 #include <fstream>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/byteio.h"
+#include "common/checksum.h"
 #include "sperr/chunker.h"
 #include "sperr/header.h"
 #include "sperr/pipeline.h"
+#include "sperr/recovery.h"
 #include "sperr/sperr.h"
 
 namespace sperr::outofcore {
@@ -84,9 +87,13 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
   // chunks (the input file is the bottleneck); in-memory compression keeps
   // the chunk-parallel OpenMP path.
   std::vector<double> buf;
+  std::vector<double> means(chunks.size(), 0.0);
   for (size_t i = 0; i < chunks.size(); ++i) {
     if (!read_chunk(in, dims, precision, chunks[i], buf))
       return Status::truncated_stream;
+    double sum = 0.0;
+    for (const double v : buf) sum += v;
+    means[i] = sum / double(buf.size());
     if (cfg.mode == Mode::pwe) {
       streams[i] =
           pipeline::encode_pwe(buf.data(), chunks[i].dims, cfg.tolerance, cfg.q_over_t);
@@ -107,8 +114,20 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
   hdr.quality = cfg.mode == Mode::pwe ? cfg.tolerance
                 : cfg.mode == Mode::target_rmse ? cfg.rmse
                                                 : cfg.bpp;
-  for (const auto& s : streams)
-    hdr.chunk_lens.emplace_back(s.speck.size(), s.outlier.size());
+  std::vector<uint8_t> cat;  // scratch to hash speck‖outlier contiguously
+  for (size_t i = 0; i < streams.size(); ++i) {
+    const auto& s = streams[i];
+    ChunkEntry e(s.speck.size(), s.outlier.size());
+    if (s.outlier.empty()) {
+      e.checksum = xxhash64(s.speck.data(), s.speck.size());
+    } else {
+      cat.assign(s.speck.begin(), s.speck.end());
+      cat.insert(cat.end(), s.outlier.begin(), s.outlier.end());
+      e.checksum = xxhash64(cat.data(), cat.size());
+    }
+    e.mean = means[i];
+    hdr.entries.push_back(e);
+  }
 
   std::vector<uint8_t> inner;
   hdr.serialize(inner);
@@ -142,6 +161,15 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
 
 Status decompress_file(const std::string& in_path, const std::string& out_path,
                        int precision) {
+  return decompress_file(in_path, out_path, precision, Recovery::fail_fast);
+}
+
+Status decompress_file(const std::string& in_path, const std::string& out_path,
+                       int precision, Recovery policy, DecodeReport* report) try {
+  DecodeReport local;
+  DecodeReport& rep = report ? *report : local;
+  rep = DecodeReport{};
+  rep.policy = policy;
   if (precision != 4 && precision != 8) return Status::invalid_argument;
 
   std::ifstream in(in_path, std::ios::binary);
@@ -149,23 +177,22 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
   const std::vector<uint8_t> blob{std::istreambuf_iterator<char>(in),
                                   std::istreambuf_iterator<char>()};
 
-  std::vector<uint8_t> inner;
-  if (const Status s = unwrap_container(blob.data(), blob.size(), inner);
-      s != Status::ok)
+  // Same fault-isolated core as the in-memory decoder; only the chunk loop
+  // differs (serial, one decoded chunk resident, streamed to disk).
+  detail::OpenedContainer oc;
+  if (const Status s =
+          detail::open_tolerant(blob.data(), blob.size(), policy, oc, &rep);
+      s != Status::ok) {
+    rep.status = s;
     return s;
-  ByteReader br(inner.data(), inner.size());
-  ContainerHeader hdr;
-  if (const Status s = hdr.deserialize(br); s != Status::ok) return s;
-
-  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
-  if (chunks.size() != hdr.chunk_lens.size()) return Status::corrupt_stream;
+  }
 
   // Pre-size the output file, then fill it chunk by chunk.
   {
     std::ofstream create(out_path, std::ios::binary);
     if (!create) return Status::invalid_argument;
     create.seekp(
-        std::streamoff(hdr.dims.total() * uint64_t(precision) - 1));
+        std::streamoff(oc.hdr.dims.total() * uint64_t(precision) - 1));
     create.put('\0');
     if (!create) return Status::invalid_argument;
   }
@@ -173,22 +200,32 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
                    std::ios::binary | std::ios::in | std::ios::out);
   if (!out) return Status::invalid_argument;
 
+  rep.chunks.resize(oc.chunks.size());
   std::vector<double> buf;
-  for (size_t i = 0; i < chunks.size(); ++i) {
-    const auto [speck_len, outlier_len] = hdr.chunk_lens[i];
-    const uint8_t* sp = br.raw(speck_len);
-    const uint8_t* op = br.raw(outlier_len);
-    if ((speck_len && !sp) || (outlier_len && !op)) return Status::truncated_stream;
-
-    buf.assign(chunks[i].dims.total(), 0.0);
-    if (const Status s = pipeline::decode(sp, speck_len, op, outlier_len,
-                                          chunks[i].dims, buf.data());
-        s != Status::ok)
-      return s;
-    if (!write_chunk(out, hdr.dims, precision, chunks[i], buf))
+  Arena& arena = tls_arena();
+  for (size_t i = 0; i < oc.chunks.size(); ++i) {
+    buf.assign(oc.chunks[i].dims.total(), 0.0);
+    arena.reset();
+    rep.chunks[i] = detail::decode_chunk(oc, i, policy, buf.data(), &arena);
+    if (rep.chunks[i].damaged()) {
+      ++rep.damaged;
+      if (rep.chunks[i].action != ChunkAction::none) ++rep.recovered;
+      if (policy == Recovery::fail_fast) {
+        // Serial and in order, so this is the lowest damaged index.
+        rep.chunks.resize(i + 1);
+        rep.status = rep.chunks[i].status;
+        return rep.status;
+      }
+    }
+    if (!write_chunk(out, oc.hdr.dims, precision, oc.chunks[i], buf))
       return Status::invalid_argument;
   }
+  rep.status = Status::ok;
+  rep.field_valid = true;
   return Status::ok;
+} catch (const std::bad_alloc&) {
+  if (report) report->status = Status::corrupt_stream;
+  return Status::corrupt_stream;
 }
 
 }  // namespace sperr::outofcore

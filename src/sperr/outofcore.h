@@ -29,4 +29,15 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
 Status decompress_file(const std::string& in_path, const std::string& out_path,
                        int precision);
 
+/// Fault-isolated variant: same per-chunk verification and recovery
+/// semantics as sperr::decompress_tolerant, streaming one decoded chunk to
+/// disk at a time. With fail_fast the file is abandoned at the first
+/// damaged chunk (lowest index — the loop is serial and in order); with the
+/// fill policies every chunk is written, damaged ones patched per `policy`,
+/// and the good chunks are bit-identical to a clean decode. `report`, when
+/// non-null, receives the same per-chunk verdicts as the in-memory API.
+Status decompress_file(const std::string& in_path, const std::string& out_path,
+                       int precision, Recovery policy,
+                       DecodeReport* report = nullptr);
+
 }  // namespace sperr::outofcore

@@ -112,15 +112,14 @@ ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target
   return result;
 }
 
-Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
+Status decode_lowres(const uint8_t* speck_stream, size_t speck_len, Dims dims,
                      size_t drop_levels, std::vector<double>& out,
                      Dims& coarse_dims) {
   const size_t max_levels = wavelet::plan_levels(dims).max();
   const size_t keep = std::min(drop_levels, max_levels);
 
   std::vector<double> full(dims.total());
-  const Status s = speck::decode(speck_stream.data(), speck_stream.size(), dims,
-                                 full.data());
+  const Status s = speck::decode(speck_stream, speck_len, dims, full.data());
   if (s != Status::ok) return s;
   wavelet::inverse_dwt_partial(full.data(), dims, keep);
 
@@ -138,6 +137,13 @@ Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
       for (size_t x = 0; x < coarse_dims.x; ++x)
         out[coarse_dims.index(x, y, z)] = full[dims.index(x, y, z)] * scale;
   return Status::ok;
+}
+
+Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
+                     size_t drop_levels, std::vector<double>& out,
+                     Dims& coarse_dims) {
+  return decode_lowres(speck_stream.data(), speck_stream.size(), dims, drop_levels,
+                       out, coarse_dims);
 }
 
 Status decode(const uint8_t* speck_stream, size_t speck_len,

@@ -63,6 +63,9 @@ ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target
 /// `coarse_dims` receives the extents of the returned field. The coarse
 /// field approximates a box-filtered downsampling of the data (low-pass
 /// scaling is divided out).
+Status decode_lowres(const uint8_t* speck_stream, size_t speck_len, Dims dims,
+                     size_t drop_levels, std::vector<double>& out,
+                     Dims& coarse_dims);
 Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
                      size_t drop_levels, std::vector<double>& out,
                      Dims& coarse_dims);

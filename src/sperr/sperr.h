@@ -45,6 +45,35 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out
 Status decompress(const uint8_t* stream, size_t nbytes, std::vector<float>& out,
                   Dims& dims);
 
+/// Fault-isolated decompression. Chunks are independent streams and v3
+/// containers checksum each one, so a damaged archive is salvageable: every
+/// chunk is verified (XXH64 over its speck+outlier bytes) and decoded
+/// independently, and `policy` decides what happens to damaged chunks —
+/// fail_fast mirrors decompress() (error out, deterministically reporting
+/// the lowest damaged chunk index), zero_fill and coarse_fill patch the
+/// damaged region and keep going, so the N−1 good chunks come back
+/// bit-identical to a clean decode. `report`, when non-null, receives the
+/// per-chunk verdicts (status, checksum comparison, byte offsets, timing).
+///
+/// Returns ok when the output field is usable under the chosen policy (for
+/// the fill policies that includes recovered fields — inspect
+/// report->damaged for whether anything was patched); returns an error only
+/// when nothing could be recovered (wrapper/header/directory destroyed, or
+/// fail_fast met damage). Works on v1/v2 containers too, where only
+/// structural damage (bad lengths, truncation) is detectable.
+Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
+                           std::vector<double>& out, Dims& dims,
+                           DecodeReport* report = nullptr);
+
+/// Integrity audit without reconstruction: unwrap the lossless layer, check
+/// the header self-checksum, and verify every chunk's XXH64. Much cheaper
+/// than a decode (hashing only). Returns ok for a fully intact archive;
+/// corrupt_chunk when any chunk fails (all chunks are always audited —
+/// per-chunk verdicts land in `report`). v1/v2 containers verify lengths
+/// only (checksum_present = false in their chunk reports).
+Status verify_container(const uint8_t* stream, size_t nbytes,
+                        DecodeReport* report = nullptr);
+
 /// Multi-resolution decompression (paper §VII): reconstruct the field at a
 /// coarsened resolution by stopping the inverse wavelet recursion
 /// `drop_levels` early — each dropped level roughly halves every

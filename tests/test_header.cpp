@@ -14,7 +14,11 @@ ContainerHeader sample_header() {
   hdr.dims = Dims{384, 384, 256};
   hdr.chunk_dims = Dims{256, 256, 256};
   hdr.quality = 3.64e-11;
-  hdr.chunk_lens = {{1000, 50}, {2000, 0}, {0, 10}};
+  hdr.entries = {ChunkEntry(1000, 50), ChunkEntry(2000, 0), ChunkEntry(0, 10)};
+  hdr.entries[0].checksum = 0x0123456789abcdefULL;
+  hdr.entries[0].mean = -3.75;
+  hdr.entries[1].checksum = 0xfeedfacecafef00dULL;
+  hdr.entries[1].mean = 1e20;
   return hdr;
 }
 
@@ -31,7 +35,60 @@ TEST(ContainerHeader, RoundTrip) {
   EXPECT_EQ(parsed.dims, hdr.dims);
   EXPECT_EQ(parsed.chunk_dims, hdr.chunk_dims);
   EXPECT_DOUBLE_EQ(parsed.quality, hdr.quality);
-  EXPECT_EQ(parsed.chunk_lens, hdr.chunk_lens);
+  EXPECT_EQ(parsed.entries, hdr.entries);
+  EXPECT_EQ(parsed.version, ContainerHeader::kVersion);
+  EXPECT_TRUE(parsed.has_integrity());
+}
+
+TEST(ContainerHeader, SelfChecksumCatchesDirectoryDamage) {
+  const ContainerHeader hdr = sample_header();
+  std::vector<uint8_t> buf;
+  hdr.serialize(buf);
+  // Flip one byte inside the directory (after the fixed fields, before the
+  // trailing self-checksum): the lengths would mis-slice the payload, so the
+  // parse must fail loudly instead.
+  const size_t fixed = 4 + 1 + 1 + 6 * 8 + 8 + 4;
+  for (const size_t at : {fixed + 3, fixed + 20, buf.size() - 16}) {
+    auto bad = buf;
+    bad[at] ^= 0x10;
+    ByteReader br(bad.data(), bad.size());
+    ContainerHeader parsed;
+    EXPECT_EQ(parsed.deserialize(br), Status::corrupt_stream) << "byte " << at;
+  }
+}
+
+TEST(ContainerHeader, ParsesLegacyV2Layout) {
+  // Hand-build a v2 header: same fixed fields, 16-byte directory entries,
+  // no self-checksum.
+  const ContainerHeader hdr = sample_header();
+  std::vector<uint8_t> buf;
+  put_u32(buf, ContainerHeader::kInnerMagic);
+  put_u8(buf, uint8_t(hdr.mode));
+  put_u8(buf, hdr.precision);
+  put_u64(buf, hdr.dims.x);
+  put_u64(buf, hdr.dims.y);
+  put_u64(buf, hdr.dims.z);
+  put_u64(buf, hdr.chunk_dims.x);
+  put_u64(buf, hdr.chunk_dims.y);
+  put_u64(buf, hdr.chunk_dims.z);
+  put_f64(buf, hdr.quality);
+  put_u32(buf, uint32_t(hdr.entries.size()));
+  for (const ChunkEntry& e : hdr.entries) {
+    put_u64(buf, e.speck_len);
+    put_u64(buf, e.outlier_len);
+  }
+
+  ByteReader br(buf.data(), buf.size());
+  ContainerHeader parsed;
+  ASSERT_EQ(parsed.deserialize(br, 2), Status::ok);
+  EXPECT_EQ(parsed.version, 2);
+  EXPECT_FALSE(parsed.has_integrity());
+  ASSERT_EQ(parsed.entries.size(), hdr.entries.size());
+  for (size_t i = 0; i < hdr.entries.size(); ++i) {
+    EXPECT_EQ(parsed.entries[i].speck_len, hdr.entries[i].speck_len);
+    EXPECT_EQ(parsed.entries[i].outlier_len, hdr.entries[i].outlier_len);
+    EXPECT_EQ(parsed.entries[i].checksum, 0u);  // absent in v2
+  }
 }
 
 TEST(ContainerHeader, RejectsBadMagic) {

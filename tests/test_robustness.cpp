@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <string>
 
 #include "baselines/mgardlike/compressor.h"
 #include "baselines/szlike/compressor.h"
@@ -19,7 +21,9 @@
 #include "speck/common.h"
 #include "speck/decoder.h"
 #include "speck/encoder.h"
+#include "sperr/chunker.h"
 #include "sperr/header.h"
+#include "sperr/outofcore.h"
 #include "sperr/sperr.h"
 #include "wavelet/dwt.h"
 
@@ -86,6 +90,132 @@ TEST(Robustness, SperrLowresSurvivesFuzz) {
     const Status s = decompress_lowres(bytes.data(), bytes.size(), 1, out, cd);
     expect_sane_field(s, out, cd);
   });
+}
+
+TEST(Robustness, SperrTolerantDecoderSurvivesFuzz) {
+  // The recovery path takes the same adversarial inputs as the strict one,
+  // with a stronger postcondition: whenever it says ok, the field is usable
+  // (full-size and finite) no matter what the fill policy had to patch.
+  const auto blob = make_blob();
+  uint64_t seed = 1013;
+  for (const Recovery policy : {Recovery::zero_fill, Recovery::coarse_fill}) {
+    fuzz_decoder(blob, seed++, [policy](const std::vector<uint8_t>& bytes) {
+      std::vector<double> out;
+      Dims dims;
+      DecodeReport rep;
+      const Status s =
+          decompress_tolerant(bytes.data(), bytes.size(), policy, out, dims, &rep);
+      expect_sane_field(s, out, dims);
+      if (s == Status::ok) {
+        ASSERT_TRUE(rep.field_valid);
+      }
+    });
+  }
+}
+
+TEST(Robustness, VerifyContainerSurvivesFuzz) {
+  const auto blob = make_blob();
+  fuzz_decoder(blob, 1015, [](const std::vector<uint8_t>& bytes) {
+    DecodeReport rep;
+    (void)verify_container(bytes.data(), bytes.size(), &rep);
+    // An audit never fabricates more damage than chunks it saw.
+    ASSERT_LE(rep.damaged, rep.chunks.size());
+  });
+}
+
+TEST(Robustness, OutOfCoreReaderSurvivesFuzz) {
+  // The file-based reader shares the tolerant core but adds its own I/O
+  // paths; run a reduced-iteration fuzz through a scratch file.
+  const auto blob = make_blob();
+  const std::string dir = ::testing::TempDir();
+  const std::string in_path = dir + "/ooc_fuzz.sperr";
+  const std::string out_path = dir + "/ooc_fuzz.raw";
+  auto run = [&](const std::vector<uint8_t>& bytes) {
+    {
+      std::ofstream f(in_path, std::ios::binary);
+      f.write(reinterpret_cast<const char*>(bytes.data()),
+              std::streamsize(bytes.size()));
+    }
+    (void)outofcore::decompress_file(in_path, out_path, 8);
+    DecodeReport rep;
+    (void)outofcore::decompress_file(in_path, out_path, 8, Recovery::zero_fill,
+                                     &rep);
+  };
+  Rng rng(1014);
+  for (int i = 0; i < 25; ++i) {
+    auto cut = blob;
+    cut.resize(rng.below(blob.size()));
+    run(cut);
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto bad = blob;
+    const int flips = 1 + int(rng.below(8));
+    for (int f = 0; f < flips; ++f)
+      bad[rng.below(bad.size())] ^= uint8_t(1 + rng.below(255));
+    run(bad);
+  }
+}
+
+TEST(Robustness, MultiChunkCorruptionLeavesOthersBitIdentical) {
+  // Randomized version of the acceptance contract: flip bits in a random
+  // subset of chunks of an 8-chunk archive; the remaining chunks must come
+  // back byte-for-byte equal to a clean decode under both fill policies.
+  const Dims dims{48, 48, 48};
+  const auto field = data::miranda_pressure(dims, 5);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 15);
+  cfg.chunk_dims = Dims{24, 24, 24};
+  cfg.lossless_pass = false;
+  const auto blob = compress(field.data(), dims, cfg);
+
+  std::vector<uint8_t> inner;
+  ContainerHeader hdr;
+  size_t payload_pos = 0;
+  ASSERT_EQ(open_container(blob.data(), blob.size(), inner, hdr, &payload_pos),
+            Status::ok);
+  constexpr size_t kOuterBytes = 14;
+  std::vector<std::pair<size_t, size_t>> ranges;  // offset, length in blob
+  size_t pos = kOuterBytes + payload_pos;
+  for (const ChunkEntry& e : hdr.entries) {
+    ranges.emplace_back(pos, size_t(e.total_len()));
+    pos += size_t(e.total_len());
+  }
+
+  std::vector<double> clean;
+  Dims od;
+  ASSERT_EQ(decompress(blob.data(), blob.size(), clean, od), Status::ok);
+  const auto chunks = make_chunks(hdr.dims, hdr.chunk_dims);
+
+  Rng rng(1016);
+  for (int round = 0; round < 12; ++round) {
+    auto bad = blob;
+    std::vector<bool> hit(ranges.size(), false);
+    const size_t nvictims = 1 + rng.below(3);
+    for (size_t v = 0; v < nvictims; ++v) {
+      const size_t victim = rng.below(ranges.size());
+      hit[victim] = true;
+      bad[ranges[victim].first + rng.below(ranges[victim].second)] ^=
+          uint8_t(1u << rng.below(8));
+    }
+    for (const Recovery policy : {Recovery::zero_fill, Recovery::coarse_fill}) {
+      std::vector<double> out;
+      DecodeReport rep;
+      ASSERT_EQ(decompress_tolerant(bad.data(), bad.size(), policy, out, od, &rep),
+                Status::ok);
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        if (hit[i]) continue;  // this chunk was (maybe) damaged
+        ASSERT_EQ(rep.chunks[i].status, Status::ok) << "chunk " << i;
+        const Chunk& c = chunks[i];
+        for (size_t z = 0; z < c.dims.z; ++z)
+          for (size_t y = 0; y < c.dims.y; ++y)
+            for (size_t x = 0; x < c.dims.x; ++x) {
+              const size_t vi = hdr.dims.index(c.origin.x + x, c.origin.y + y,
+                                               c.origin.z + z);
+              ASSERT_EQ(clean[vi], out[vi]) << "chunk " << i;
+            }
+      }
+    }
+  }
 }
 
 TEST(Robustness, LosslessCodecSurvivesFuzz) {
@@ -201,9 +331,10 @@ TEST(Robustness, SpeckPayloadBitFlipsSurviveBothDecoders) {
     // same reconstruction, corrupt or not.
     ASSERT_EQ(sf, sr);
     expect_sane_field(sf, fast_out, dims);
-    if (sf == Status::ok)
+    if (sf == Status::ok) {
       for (size_t i = 0; i < fast_out.size(); ++i)
         ASSERT_EQ(fast_out[i], ref_out[i]) << "decoder divergence at " << i;
+    }
   };
 
   const size_t payload_begin = speck::Header::kBytes;

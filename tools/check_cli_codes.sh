@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Asserts the sperr_cc exit-code contract (documented at the top of
+# tools/sperr_cc.cpp): 0 success, 1 I/O error, 2 usage error, 3 corrupt
+# input. Also checks that `info --verify` prints one verdict line per chunk
+# and that `--recover` survives a damaged archive. Run as a ctest:
+#
+#   check_cli_codes.sh SPERR_CC MAKE_FIELD WORKDIR
+set -u
+
+SPERR_CC=${1:?path to sperr_cc}
+MAKE_FIELD=${2:?path to make_field}
+WORK=${3:?scratch directory}
+mkdir -p "$WORK"
+
+fails=0
+expect() { # expect CODE DESC -- cmd...
+  local want=$1 desc=$2; shift 3
+  "$@" >"$WORK/out.txt" 2>"$WORK/err.txt"
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc — expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$WORK/err.txt" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+"$MAKE_FIELD" miranda_pressure 48 48 24 "$WORK/field.raw" --type f64 >/dev/null \
+  || { echo "FAIL: make_field" >&2; exit 1; }
+
+# --- exit 0: the happy paths -------------------------------------------------
+expect 0 "clean compress" -- "$SPERR_CC" c "$WORK/field.raw" "$WORK/a.sperr" \
+  --dims 48 48 24 --type f64 --idx 18 --chunk 32 32 32 --no-lossless
+expect 0 "clean decompress" -- "$SPERR_CC" d "$WORK/a.sperr" "$WORK/a.raw"
+expect 0 "clean info" -- "$SPERR_CC" info "$WORK/a.sperr"
+expect 0 "clean info --verify" -- "$SPERR_CC" info "$WORK/a.sperr" --verify
+nchunks=$(grep -c '^chunk ' "$WORK/out.txt")
+if [ "$nchunks" -lt 4 ]; then
+  echo "FAIL: info --verify printed $nchunks chunk lines, want one per chunk (>=4)" >&2
+  fails=$((fails + 1))
+fi
+grep -q 'verify: all .* intact' "$WORK/out.txt" || {
+  echo "FAIL: info --verify did not print the all-intact summary" >&2
+  fails=$((fails + 1))
+}
+
+# --- exit 2: usage errors ----------------------------------------------------
+expect 2 "no arguments" -- "$SPERR_CC"
+expect 2 "unknown command" -- "$SPERR_CC" frobnicate
+expect 2 "unknown option" -- "$SPERR_CC" d "$WORK/a.sperr" "$WORK/a.raw" --bogus
+expect 2 "missing quality mode" -- "$SPERR_CC" c "$WORK/field.raw" "$WORK/b.sperr" \
+  --dims 48 48 24 --type f64
+expect 2 "--drop with --recover" -- "$SPERR_CC" d "$WORK/a.sperr" "$WORK/a.raw" \
+  --drop 1 --recover zero
+expect 2 "bad --recover value" -- "$SPERR_CC" d "$WORK/a.sperr" "$WORK/a.raw" \
+  --recover sideways
+
+# --- exit 1: I/O errors ------------------------------------------------------
+expect 1 "missing input file" -- "$SPERR_CC" d "$WORK/nonexistent.sperr" "$WORK/x.raw"
+expect 1 "missing info target" -- "$SPERR_CC" info "$WORK/nonexistent.sperr"
+
+# --- exit 3: corrupt input ---------------------------------------------------
+# Overwrite a burst in the middle of the archive: with --no-lossless the chunk
+# streams sit verbatim there, so this damages exactly one chunk's bytes.
+cp "$WORK/a.sperr" "$WORK/bad.sperr"
+size=$(wc -c < "$WORK/a.sperr")
+head -c 16 /dev/zero | tr '\0' '\377' \
+  | dd of="$WORK/bad.sperr" bs=1 seek=$((size / 2)) conv=notrunc 2>/dev/null
+
+expect 3 "decompress corrupt archive" -- "$SPERR_CC" d "$WORK/bad.sperr" "$WORK/bad.raw"
+expect 3 "info --verify corrupt archive" -- "$SPERR_CC" info "$WORK/bad.sperr" --verify
+grep -q 'checksum BAD' "$WORK/out.txt" || {
+  echo "FAIL: info --verify did not flag the damaged chunk's checksum" >&2
+  fails=$((fails + 1))
+}
+expect 3 "garbage input" -- "$SPERR_CC" d "$WORK/field.raw" "$WORK/x.raw"
+
+# --- recovery: damaged archive, zero-fill still succeeds ---------------------
+expect 0 "decompress --recover zero" -- "$SPERR_CC" d "$WORK/bad.sperr" \
+  "$WORK/recovered.raw" --recover zero
+grep -q 'chunk(s) damaged' "$WORK/out.txt" || {
+  echo "FAIL: --recover zero did not report the damaged chunk" >&2
+  fails=$((fails + 1))
+}
+want=$((48 * 48 * 24 * 8))
+got=$(wc -c < "$WORK/recovered.raw")
+if [ "$got" -ne "$want" ]; then
+  echo "FAIL: recovered output is $got bytes, want $want" >&2
+  fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "check_cli_codes: $fails assertion(s) failed" >&2
+  exit 1
+fi
+echo "check_cli_codes: all exit-code assertions held"

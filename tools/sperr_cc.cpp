@@ -6,9 +6,14 @@
 //                          [ --q-over-t Q ] [ --chunk CX CY CZ ]
 //                          [ --threads N ] [ --no-lossless ] [ --verify ]
 //   decompress:  sperr_cc d  IN.sperr OUT.raw [--type f32|f64] [--drop L]
-//   inspect:     sperr_cc info IN.sperr
+//                          [ --recover fail-fast|zero|coarse ]
+//   inspect:     sperr_cc info IN.sperr [--verify]
 //
 // Raw files are x-fastest little-endian arrays, the layout SDRBench uses.
+//
+// Exit codes: 0 success, 1 I/O error, 2 usage error, 3 corrupt input,
+// 4 verification/quality failure. Scripts can tell "the file is damaged"
+// (3) apart from "I was called wrong" (2) and "the disk failed" (1).
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +30,14 @@
 
 namespace {
 
+// Exit codes (documented in the header comment and asserted by
+// tools/check_cli_codes.sh).
+constexpr int kExitOk = 0;
+constexpr int kExitIo = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitCorrupt = 3;
+constexpr int kExitVerify = 4;
+
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr,
@@ -34,15 +47,16 @@ namespace {
                "           [--q-over-t Q] [--chunk CX CY CZ] [--threads N]\n"
                "           [--no-lossless] [--verify]\n"
                "  sperr_cc d IN.sperr OUT.raw [--type f32|f64] [--drop L]\n"
-               "  sperr_cc info IN.sperr\n");
-  std::exit(2);
+               "           [--recover fail-fast|zero|coarse]\n"
+               "  sperr_cc info IN.sperr [--verify]\n");
+  std::exit(kExitUsage);
 }
 
 std::vector<uint8_t> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
-    std::exit(1);
+    std::exit(kExitIo);
   }
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
@@ -51,7 +65,7 @@ void write_file(const std::string& path, const void* data, size_t size) {
   std::ofstream out(path, std::ios::binary);
   if (!out || !out.write(static_cast<const char*>(data), std::streamsize(size))) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-    std::exit(1);
+    std::exit(kExitIo);
   }
 }
 
@@ -67,6 +81,20 @@ struct Args {
   bool lossless = true;
   bool verify = false;
   size_t drop = 0;
+  bool have_recover = false;
+  sperr::Recovery recover = sperr::Recovery::fail_fast;
+
+  void set_recover(const std::string& v) {
+    have_recover = true;
+    if (v == "fail-fast" || v == "fail_fast")
+      recover = sperr::Recovery::fail_fast;
+    else if (v == "zero" || v == "zero-fill" || v == "zero_fill")
+      recover = sperr::Recovery::zero_fill;
+    else if (v == "coarse" || v == "coarse-fill" || v == "coarse_fill")
+      recover = sperr::Recovery::coarse_fill;
+    else
+      usage("--recover takes fail-fast, zero or coarse");
+  }
 
   Args(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
@@ -104,6 +132,10 @@ struct Args {
         verify = true;
       } else if (a == "--drop") {
         drop = size_t(std::atoll(next("--drop needs a level count")));
+      } else if (a == "--recover") {
+        set_recover(next("--recover needs a policy"));
+      } else if (a.rfind("--recover=", 0) == 0) {
+        set_recover(a.substr(10));
       } else if (!a.empty() && a[0] == '-') {
         usage(("unknown option " + a).c_str());
       } else {
@@ -128,6 +160,38 @@ std::vector<double> load_field(const std::string& path, const Args& args) {
     usage("--type must be f32 or f64");
   }
   return field;
+}
+
+const char* action_name(sperr::ChunkAction a) {
+  switch (a) {
+    case sperr::ChunkAction::zeroed: return "zero-filled";
+    case sperr::ChunkAction::coarse: return "coarse SPECK-prefix decode";
+    case sperr::ChunkAction::dc_fill: return "filled with stored chunk mean";
+    default: return "none";
+  }
+}
+
+/// One line per chunk: verdict, checksum comparison, extent, recovery action.
+void print_chunk_reports(const sperr::DecodeReport& rep) {
+  for (const auto& c : rep.chunks) {
+    std::printf("chunk %4zu: %-15s", c.index, to_string(c.status));
+    if (c.checksum_present)
+      std::printf(" checksum %s (stored %016llx, computed %016llx)",
+                  c.checksum_ok ? "ok " : "BAD",
+                  static_cast<unsigned long long>(c.checksum_stored),
+                  static_cast<unsigned long long>(c.checksum_computed));
+    else
+      std::printf(" checksum absent (v%u container)", rep.version);
+    std::printf("  offset %llu, %llu+%llu bytes",
+                static_cast<unsigned long long>(c.offset),
+                static_cast<unsigned long long>(c.speck_len),
+                static_cast<unsigned long long>(c.outlier_len));
+    if (c.action != sperr::ChunkAction::none)
+      std::printf("  -> %s", action_name(c.action));
+    std::printf("\n");
+  }
+  for (const size_t b : rep.lossless_bad_blocks)
+    std::printf("lossless block %zu: checksum BAD (payload zero-filled)\n", b);
 }
 
 int cmd_compress(const Args& args) {
@@ -173,7 +237,7 @@ int cmd_compress(const Args& args) {
     sperr::Dims od;
     if (sperr::decompress(blob.data(), blob.size(), recon, od) != sperr::Status::ok) {
       std::fprintf(stderr, "verify: decompression FAILED\n");
-      return 1;
+      return kExitVerify;
     }
     const auto q = sperr::metrics::compare(field.data(), recon.data(), field.size());
     std::printf("verify: max err %.4g, RMSE %.4g, PSNR %.2f dB", q.max_pwe,
@@ -183,27 +247,42 @@ int cmd_compress(const Args& args) {
       std::printf(" — PWE bound %s", ok ? "HELD" : "VIOLATED");
       if (!ok) {
         std::printf("\n");
-        return 1;
+        return kExitVerify;
       }
     }
     std::printf("\n");
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_decompress(const Args& args) {
   if (args.positional.size() != 3) usage("decompress needs IN OUT");
+  if (args.drop && args.have_recover)
+    usage("--drop and --recover cannot be combined");
   const auto blob = read_file(args.positional[1]);
 
   std::vector<double> field;
   sperr::Dims dims;
-  const sperr::Status s =
-      args.drop ? sperr::decompress_lowres(blob.data(), blob.size(), args.drop,
-                                           field, dims)
-                : sperr::decompress(blob.data(), blob.size(), field, dims);
+  sperr::DecodeReport rep;
+  sperr::Status s;
+  if (args.drop) {
+    s = sperr::decompress_lowres(blob.data(), blob.size(), args.drop, field, dims);
+  } else {
+    s = sperr::decompress_tolerant(blob.data(), blob.size(), args.recover, field,
+                                   dims, &rep);
+    if (args.have_recover) {
+      print_chunk_reports(rep);
+      if (rep.damaged > 0)
+        std::printf("%zu of %zu chunk(s) damaged, %zu recovered (policy %s)\n",
+                    rep.damaged, rep.chunks.size(), rep.recovered,
+                    args.recover == sperr::Recovery::zero_fill   ? "zero"
+                    : args.recover == sperr::Recovery::coarse_fill ? "coarse"
+                                                                   : "fail-fast");
+    }
+  }
   if (s != sperr::Status::ok) {
     std::fprintf(stderr, "error: decompression failed (%s)\n", to_string(s));
-    return 1;
+    return kExitCorrupt;
   }
 
   if (args.type == "f32") {
@@ -214,7 +293,7 @@ int cmd_decompress(const Args& args) {
   }
   std::printf("%s: %s doubles -> %s\n", args.positional[1].c_str(),
               dims.to_string().c_str(), args.positional[2].c_str());
-  return 0;
+  return kExitOk;
 }
 
 int cmd_info(const Args& args) {
@@ -227,30 +306,34 @@ int cmd_info(const Args& args) {
       sperr::unwrap_container(blob.data(), blob.size(), inner, &bad_block);
   if (us == sperr::Status::corrupt_block) {
     std::fprintf(stderr, "error: lossless block %zu failed its checksum\n", bad_block);
-    return 1;
+    return kExitCorrupt;
   }
   if (us != sperr::Status::ok) {
     std::fprintf(stderr, "error: not a SPERR container (%s)\n", to_string(us));
-    return 1;
+    return kExitCorrupt;
   }
-  sperr::ByteReader br(inner.data(), inner.size());
   sperr::ContainerHeader hdr;
-  if (hdr.deserialize(br) != sperr::Status::ok) {
+  size_t payload_pos = 0;
+  if (sperr::open_container(blob.data(), blob.size(), inner, hdr, &payload_pos) !=
+      sperr::Status::ok) {
     std::fprintf(stderr, "error: corrupt container header\n");
-    return 1;
+    return kExitCorrupt;
   }
   const char* mode = hdr.mode == sperr::Mode::pwe ? "pwe"
                      : hdr.mode == sperr::Mode::fixed_rate ? "fixed-rate"
                                                            : "target-rmse";
+  std::printf("version:     %u (%s)\n", hdr.version,
+              hdr.has_integrity() ? "per-chunk checksums"
+                                  : "legacy, lengths only");
   std::printf("dims:        %s (%s input)\n", hdr.dims.to_string().c_str(),
               hdr.precision == 4 ? "f32" : "f64");
   std::printf("mode:        %s (quality parameter %.6g)\n", mode, hdr.quality);
-  std::printf("chunks:      %zu (preferred %s)\n", hdr.chunk_lens.size(),
+  std::printf("chunks:      %zu (preferred %s)\n", hdr.entries.size(),
               hdr.chunk_dims.to_string().c_str());
   size_t speck = 0, outl = 0;
-  for (const auto& [s, o] : hdr.chunk_lens) {
-    speck += s;
-    outl += o;
+  for (const auto& e : hdr.entries) {
+    speck += size_t(e.speck_len);
+    outl += size_t(e.outlier_len);
   }
   std::printf("streams:     %zu bytes SPECK, %zu bytes outlier corrections\n",
               speck, outl);
@@ -273,7 +356,18 @@ int cmd_info(const Args& args) {
       std::printf("lossless:    single-block reference framing (no checksums)\n");
     }
   }
-  return 0;
+
+  if (args.verify) {
+    sperr::DecodeReport rep;
+    const sperr::Status vs = sperr::verify_container(blob.data(), blob.size(), &rep);
+    print_chunk_reports(rep);
+    if (vs != sperr::Status::ok) {
+      std::fprintf(stderr, "verify: archive is damaged (%s)\n", to_string(vs));
+      return kExitCorrupt;
+    }
+    std::printf("verify: all %zu chunk(s) intact\n", rep.chunks.size());
+  }
+  return kExitOk;
 }
 
 }  // namespace
