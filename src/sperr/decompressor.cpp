@@ -27,11 +27,15 @@ Status decompress_lowres(const uint8_t* stream, size_t nbytes, size_t drop_level
   if (hdr.entries.size() != 1) return Status::invalid_argument;
 
   const ChunkEntry& e = hdr.entries[0];
-  if (payload_pos + e.speck_len > inner.size()) return Status::truncated_stream;
+  // Subtraction-form bounds checks: the directory lengths are untrusted u64s,
+  // so sums like `payload_pos + e.speck_len` can wrap past inner.size().
+  // open_container guarantees payload_pos <= inner.size().
+  const size_t avail = inner.size() - payload_pos;
+  if (e.speck_len > avail) return Status::truncated_stream;
   const uint8_t* sp = inner.data() + payload_pos;
   if (hdr.has_integrity()) {
     // Checksum covers speck‖outlier; verify it before trusting the stream.
-    if (payload_pos + e.total_len() > inner.size()) return Status::truncated_stream;
+    if (e.outlier_len > avail - size_t(e.speck_len)) return Status::truncated_stream;
     if (xxhash64(sp, size_t(e.total_len())) != e.checksum)
       return Status::corrupt_chunk;
   }

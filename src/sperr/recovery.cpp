@@ -83,21 +83,27 @@ Status open_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
   if (report) report->header_ok = true;
 
   // Slice the payload: each chunk's streams start where the previous ones
-  // ended, clamped to the bytes actually recovered.
+  // ended, clamped to the bytes actually recovered. The directory lengths are
+  // untrusted u64s (v1/v2 carry no header checksum, and a v3 checksum is
+  // attacker-computable), so never form `speck_len + outlier_len` or
+  // `pos + total` where the sum can wrap: a wrapped total could masquerade as
+  // a small intact extent while the advertised lengths stay huge.
   oc.slices.resize(oc.chunks.size());
-  size_t pos = br.pos();
+  size_t pos = br.pos();  // deserialize() read from inner, so pos <= inner.size()
   for (size_t i = 0; i < oc.chunks.size(); ++i) {
     const ChunkEntry& e = oc.hdr.entries[i];
     ChunkSlice& sl = oc.slices[i];
     sl.offset = pos;
-    const size_t have =
-        pos <= oc.inner.size()
-            ? std::min<uint64_t>(e.total_len(), oc.inner.size() - pos)
-            : 0;
+    const bool lens_ok = e.speck_len <= UINT64_MAX - e.outlier_len;
+    const uint64_t want = lens_ok ? e.total_len() : UINT64_MAX;
+    const size_t have = std::min<uint64_t>(want, oc.inner.size() - pos);
     sl.speck_avail = std::min<uint64_t>(e.speck_len, have);
     sl.outlier_avail = have - sl.speck_avail;
-    sl.intact = have == e.total_len();
-    pos += size_t(e.total_len());
+    sl.intact = lens_ok && have == want;
+    // Saturate at end-of-payload once a chunk overruns it: later chunks then
+    // report truncation at the stream tail instead of aliasing earlier
+    // payload bytes, and `pos <= inner.size()` holds on every iteration.
+    pos = sl.intact ? pos + size_t(want) : oc.inner.size();
   }
   return Status::ok;
 }
@@ -137,8 +143,10 @@ ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
   const uint8_t* op = sp + sl.speck_avail;
 
   if (!r.damaged()) {
-    const Status cs = pipeline::decode(sp, size_t(e.speck_len), op,
-                                       size_t(e.outlier_len), cdims, buf, arena);
+    // An intact slice has avail == advertised; decode from the clamped avail
+    // extents regardless so no directory value can size a read.
+    const Status cs = pipeline::decode(sp, sl.speck_avail, op, sl.outlier_avail,
+                                       cdims, buf, arena);
     if (cs != Status::ok) r.status = cs;  // possible on v1/v2 (no checksums)
   }
 

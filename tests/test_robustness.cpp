@@ -218,6 +218,93 @@ TEST(Robustness, MultiChunkCorruptionLeavesOthersBitIdentical) {
   }
 }
 
+/// Hand-build a v2 archive (16-byte directory entries, no checksums — so
+/// crafted lengths reach the slicer unchallenged) with the given directory
+/// and `payload_bytes` bytes of chunk payload.
+std::vector<uint8_t> craft_v2_container(Dims dims, Dims cdims,
+                                        const std::vector<ChunkEntry>& entries,
+                                        size_t payload_bytes) {
+  std::vector<uint8_t> inner;
+  put_u32(inner, ContainerHeader::kInnerMagic);
+  put_u8(inner, uint8_t(Mode::pwe));
+  put_u8(inner, 8);
+  put_u64(inner, dims.x);
+  put_u64(inner, dims.y);
+  put_u64(inner, dims.z);
+  put_u64(inner, cdims.x);
+  put_u64(inner, cdims.y);
+  put_u64(inner, cdims.z);
+  put_f64(inner, 1e-3);
+  put_u32(inner, uint32_t(entries.size()));
+  for (const ChunkEntry& e : entries) {
+    put_u64(inner, e.speck_len);
+    put_u64(inner, e.outlier_len);
+  }
+  inner.insert(inner.end(), payload_bytes, uint8_t(0xab));
+
+  std::vector<uint8_t> blob;
+  put_u32(blob, ContainerHeader::kOuterMagic);
+  put_u8(blob, 2);  // container v2
+  put_u8(blob, 0);  // no lossless pass
+  put_u64(blob, inner.size());
+  blob.insert(blob.end(), inner.begin(), inner.end());
+  return blob;
+}
+
+TEST(Robustness, WrappingDirectoryLengthsAreRejected) {
+  // A directory entry whose u64 speck_len + outlier_len wraps to a tiny
+  // value must read as damage (truncation) — never as an "intact" chunk
+  // whose huge advertised lengths then size the decode reads.
+  const Dims dims{8, 8, 8};
+  const auto blob = craft_v2_container(dims, dims, {ChunkEntry(UINT64_MAX, 2)}, 1);
+
+  std::vector<double> out;
+  Dims od;
+  EXPECT_EQ(decompress(blob.data(), blob.size(), out, od),
+            Status::truncated_stream);
+
+  // decompress_lowres takes a separate bounds-check path: the old additive
+  // form `payload_pos + speck_len > inner.size()` wrapped and passed here.
+  std::vector<double> low;
+  Dims cd;
+  EXPECT_EQ(decompress_lowres(blob.data(), blob.size(), 1, low, cd),
+            Status::truncated_stream);
+
+  for (const Recovery policy : {Recovery::zero_fill, Recovery::coarse_fill}) {
+    DecodeReport rep;
+    const Status s =
+        decompress_tolerant(blob.data(), blob.size(), policy, out, od, &rep);
+    expect_sane_field(s, out, od);
+    ASSERT_EQ(rep.chunks.size(), 1u);
+    EXPECT_TRUE(rep.chunks[0].damaged());
+  }
+}
+
+TEST(Robustness, OverrunningChunkDoesNotAliasLaterChunks) {
+  // Chunk 0 advertises (wrapping) huge extents, chunk 1 a small one. The
+  // slicer must saturate at end-of-payload — both chunks report truncation
+  // at honest offsets — instead of wrapping `pos` and handing chunk 1 a
+  // slice aliased onto earlier payload bytes.
+  const Dims dims{16, 8, 8};
+  const Dims cdims{8, 8, 8};
+  const auto blob = craft_v2_container(
+      dims, cdims, {ChunkEntry(UINT64_MAX, 2), ChunkEntry(4, 0)}, 8);
+
+  std::vector<double> out;
+  Dims od;
+  DecodeReport rep;
+  const Status s = decompress_tolerant(blob.data(), blob.size(),
+                                       Recovery::zero_fill, out, od, &rep);
+  expect_sane_field(s, out, od);
+  ASSERT_EQ(rep.chunks.size(), 2u);
+  EXPECT_TRUE(rep.chunks[0].damaged());
+  // Chunk 1 must report truncation at the stream tail — chunk 0's garbage
+  // extent consumed the payload — not a decode verdict on an aliased slice.
+  EXPECT_EQ(rep.chunks[1].status, Status::truncated_stream);
+  EXPECT_GE(rep.chunks[1].offset, rep.chunks[0].offset);
+  for (const ChunkReport& c : rep.chunks) EXPECT_LE(c.offset, blob.size());
+}
+
 TEST(Robustness, LosslessCodecSurvivesFuzz) {
   std::vector<uint8_t> payload(20000);
   Rng rng(7);
