@@ -27,6 +27,24 @@ void BitWriter::put_bits(uint64_t value, unsigned count) {
   if (count != 0) bytes_.push_back(uint8_t(value));
 }
 
+const std::vector<uint8_t>& WordBitWriter::finish() {
+  // Spill the (< 64) pending bits a byte at a time, then trim the buffer to
+  // exactly ceil(nbit_ / 8) so trailing garbage from a previous, longer use
+  // of this writer can never leak into the output.
+  while (cnt_ > 0) {
+    if (pos_ + 1 > bytes_.size()) grow();
+    bytes_[pos_++] = uint8_t(acc_);
+    acc_ >>= 8;
+    cnt_ = cnt_ > 8 ? cnt_ - 8 : 0;
+  }
+  bytes_.resize((nbit_ + 7) / 8);
+  return bytes_;
+}
+
+void WordBitWriter::grow() {
+  bytes_.resize(std::max<size_t>(256, bytes_.size() * 2));
+}
+
 uint64_t BitReader::get_bits(unsigned count) {
   if (count == 0) return 0;
   const size_t avail = pos_ < nbits_ ? nbits_ - pos_ : 0;

@@ -45,6 +45,65 @@ class BitWriter {
   size_t nbit_ = 0;
 };
 
+/// Word-batched append-only bit writer with the same LSB-first packing as
+/// BitWriter, built for entropy-coder hot loops: bits accumulate in a 64-bit
+/// register and every call spills the completed whole bytes with one
+/// unaligned 8-byte store into a geometrically grown buffer, so a
+/// put_bits() call is a shift/or plus a store instead of BitWriter's
+/// byte-at-a-time push_back loop. Producing the identical byte sequence as
+/// BitWriter for the same put_bits sequence is a tested invariant.
+class WordBitWriter {
+ public:
+  WordBitWriter() = default;
+
+  /// Append `count` (<= 56) bits of `value`, least-significant bit first.
+  /// Bits of `value` at or above `count` must be zero (callers pre-pack
+  /// code + extra bits into one masked word; an unmasked stray bit would
+  /// corrupt every later bit in the accumulator). Spilling whole bytes
+  /// every call keeps the pending count <= 7 between calls, so 7 + 56
+  /// never overflows the register.
+  void put_bits(uint64_t value, unsigned count) {
+    acc_ |= value << cnt_;
+    cnt_ += count;
+    nbit_ += count;
+    const unsigned nbytes = cnt_ >> 3;  // <= 7 given the invariant above
+    if (nbytes != 0) {
+      if (pos_ + 8 > bytes_.size()) grow();
+      // Byte-wise spill compiles to one unaligned store on little-endian
+      // targets and stays format-correct on big-endian ones. The store is
+      // always 8 bytes wide; only `nbytes` of them are finalized.
+      uint8_t* p = bytes_.data() + pos_;
+      for (unsigned i = 0; i < 8; ++i) p[i] = uint8_t(acc_ >> (8 * i));
+      pos_ += nbytes;
+      acc_ >>= 8 * nbytes;
+      cnt_ &= 7;
+    }
+  }
+
+  [[nodiscard]] size_t bit_count() const { return nbit_; }
+
+  /// Flush the accumulator tail and return the packed bytes (sized to
+  /// ceil(bit_count / 8), trailing bits of the last byte zero). The writer
+  /// stays reusable after clear().
+  const std::vector<uint8_t>& finish();
+
+  void clear() {
+    pos_ = 0;
+    acc_ = 0;
+    cnt_ = 0;
+    nbit_ = 0;
+  }
+
+ private:
+  void grow();
+
+  std::vector<uint8_t> bytes_;
+  size_t pos_ = 0;     ///< bytes of bytes_ holding finalized output
+  uint64_t acc_ = 0;   ///< pending bits, LSB = oldest
+  unsigned cnt_ = 0;   ///< pending bit count (<= 7 between calls)
+  size_t nbit_ = 0;    ///< total bits written since clear()
+};
+
 /// Sequential bit reader over an externally owned byte range. Reading past
 /// the end does not throw: it returns 0-bits and latches `exhausted()`, which
 /// lets embedded-stream decoders terminate exactly where the encoder stopped.

@@ -1,0 +1,106 @@
+#include "lossless/arith.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace sperr::lossless {
+
+size_t arith_normalize(const uint64_t* freq, size_t n, uint16_t* norm) {
+  uint64_t total = 0;
+  size_t nonzero = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += freq[i];
+    nonzero += freq[i] != 0;
+  }
+  std::fill(norm, norm + n, uint16_t(0));
+  if (nonzero == 0) return 0;
+
+  // First pass: floor-scale with a minimum of 1 per present symbol, then
+  // repair the (small, <= n) drift against the exact power-of-two total by
+  // walking the heaviest symbols — deterministic order, integers only.
+  int64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (freq[i] == 0) continue;
+    const uint64_t scaled = freq[i] * kArithTotal / total;  // freq < 2^52
+    norm[i] = uint16_t(std::max<uint64_t>(1, std::min<uint64_t>(scaled, kArithTotal)));
+    assigned += norm[i];
+  }
+  while (assigned > int64_t(kArithTotal)) {
+    // Shrink the largest slot that can afford it (ties: lowest symbol).
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i)
+      if (norm[i] > 1 && (best == n || norm[i] > norm[best])) best = i;
+    const uint16_t take = uint16_t(std::min<int64_t>(assigned - int64_t(kArithTotal),
+                                                     norm[best] - 1));
+    norm[best] = uint16_t(norm[best] - take);
+    assigned -= take;
+  }
+  while (assigned < int64_t(kArithTotal)) {
+    // Grow the slot for the heaviest actual frequency (ties: lowest symbol)
+    // — the cheapest place to park surplus probability mass.
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i)
+      if (norm[i] != 0 && (best == n || freq[i] > freq[best])) best = i;
+    const uint16_t give = uint16_t(std::min<int64_t>(int64_t(kArithTotal) - assigned,
+                                                     kArithTotal - norm[best]));
+    norm[best] = uint16_t(norm[best] + give);
+    assigned += give;
+  }
+  return nonzero;
+}
+
+namespace {
+
+/// floor(log2(v) * 256) for v >= 1, by 8 rounds of Q32 squaring. Integer
+/// only, so every platform prices blocks identically.
+uint32_t log2_q8(uint32_t v) {
+  const unsigned k = unsigned(std::bit_width(v)) - 1;
+  uint64_t x = (uint64_t(v) << 32) >> k;  // Q32 mantissa in [1, 2)
+  uint32_t r = k << 8;
+  for (int i = 7; i >= 0; --i) {
+    x = uint64_t((unsigned __int128)(x)*x >> 32);  // square: Q32 in [1, 4)
+    if (x >= (uint64_t(2) << 32)) {
+      x >>= 1;
+      r |= 1u << i;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+uint64_t arith_cost_bits(const uint64_t* freq, const uint16_t* norm, size_t n) {
+  // Per-symbol cost of s is exactly kArithTotalBits - log2(norm[s]) bits
+  // (power-of-two totals make the range split lossless up to renorm
+  // truncation, which a +1 Q8 round-up per symbol class dominates).
+  uint64_t q8_bits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (freq[i] == 0) continue;
+    const uint32_t cost_q8 = (kArithTotalBits << 8) - log2_q8(norm[i]) + 1;
+    q8_bits += freq[i] * cost_q8;
+  }
+  return (q8_bits + 255) >> 8;
+}
+
+bool ArithCumTable::build(const uint16_t* norm, size_t n, bool want_slots) {
+  cum.assign(n + 1, 0);
+  uint32_t running = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cum[i] = running;
+    running += norm[i];
+    if (running > kArithTotal) return false;
+  }
+  cum[n] = running;
+  if (running == 0) {
+    slot.clear();  // unused alphabet (e.g. distances in a match-free block)
+    return true;
+  }
+  if (running != kArithTotal) return false;
+  if (!want_slots) return true;
+  slot.assign(kArithTotal, 0);
+  for (size_t i = 0; i < n; ++i)
+    for (uint32_t t = cum[i]; t < cum[i] + norm[i]; ++t) slot[t] = uint16_t(i);
+  return true;
+}
+
+}  // namespace sperr::lossless

@@ -1,0 +1,190 @@
+#pragma once
+
+// Byte-renormalizing arithmetic (range) coder plus the static frequency
+// model shared by the lossless codec's per-block arithmetic entropy path.
+//
+// The coder is the classic LZMA-style range coder (a descendant of the
+// Witten–Neal–Cleary formulation; cf. the harry arith coder referenced in
+// SNIPPETS.md for the bitwise variant): a 32-bit `range` narrows
+// proportionally to each symbol's cumulative frequency span over a 33-bit
+// `low`, and whenever range drops below 2^24 one whole output byte is
+// shifted out — renormalization costs one branch per output *byte*, not per
+// bit, which is what lets the arithmetic path keep up with the Huffman path
+// on near-random data. Carries propagate through a cache byte plus a
+// run-length of pending 0xFF bytes, exactly as in LZMA's rc_shift_low.
+// Model totals are restricted to powers of two so the range split needs a
+// shift, never a division, on the encode side; the decoder pays one 32-bit
+// division per symbol.
+//
+// The model is semi-static: per block, symbol frequencies are normalized to
+// sum to exactly 2^kArithTotalBits (every present symbol keeps a nonzero
+// slot), transmitted verbatim, and used unchanged for the whole block —
+// which makes the coded size priceable up front from the frequencies alone
+// (see arith_cost_bits), the property the per-block Huffman/arith/raw
+// selection relies on.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sperr::lossless {
+
+/// log2 of every model total: cumulative frequencies live in [0, 4096].
+inline constexpr unsigned kArithTotalBits = 12;
+inline constexpr uint32_t kArithTotal = 1u << kArithTotalBits;
+
+/// Bytes appended by ArithEncoder::finish() — the flushed coder state.
+inline constexpr size_t kArithFlushBytes = 5;
+
+/// Range encoder appending bytes to a caller-owned vector.
+class ArithEncoder {
+ public:
+  explicit ArithEncoder(std::vector<uint8_t>& out) : out_(out) {}
+
+  /// Encode a symbol occupying cumulative span [lo, hi) of a model whose
+  /// total is 2^total_bits. Requires lo < hi <= 2^total_bits, total_bits <=
+  /// 16.
+  void encode(uint32_t lo, uint32_t hi, unsigned total_bits) {
+    const uint32_t r = range_ >> total_bits;
+    low_ += uint64_t(r) * lo;
+    // The top span absorbs the shift truncation so the code space stays
+    // gap-free (matches the decoder's target arithmetic exactly).
+    range_ = hi == (uint32_t(1) << total_bits) ? range_ - r * lo : r * (hi - lo);
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  /// Encode `count` (<= 16) raw bits of `value` at uniform probability —
+  /// the carrier for deflate-style length/distance extra bits.
+  void encode_raw(uint32_t value, unsigned count) {
+    if (count != 0) encode(value, value + 1, count);
+  }
+
+  /// Flush the coder state (kArithFlushBytes bytes); the stream then
+  /// decodes unambiguously. Must be called exactly once.
+  void finish() {
+    for (size_t i = 0; i < kArithFlushBytes; ++i) shift_low();
+  }
+
+ private:
+  static constexpr uint32_t kTopValue = 1u << 24;
+
+  void shift_low() {
+    // Emit the cache byte (plus any pending 0xFF run) once the carry is
+    // settled: either low's byte 32..25 cannot be bumped any more
+    // (low < 0xFF000000) or a carry into bit 32 already happened.
+    if (low_ < 0xFF000000ull || (low_ >> 32) != 0) {
+      const uint8_t carry = uint8_t(low_ >> 32);
+      do {
+        out_.push_back(uint8_t(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = uint8_t(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xFFFFFFFFull;
+  }
+
+  std::vector<uint8_t>& out_;
+  uint64_t low_ = 0;              ///< bit 32 is the pending carry
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;             ///< first emitted byte is always this 0
+  uint64_t cache_size_ = 1;
+};
+
+/// Matching decoder over an externally owned byte range. Reads past the end
+/// return zero bytes while overrun() latches, mirroring BitReader's
+/// contract, so a truncated stream decodes garbage that downstream
+/// size/checksum checks reject instead of crashing.
+class ArithDecoder {
+ public:
+  ArithDecoder(const uint8_t* data, size_t nbytes) : p_(data), n_(nbytes) {
+    ++used_;  // the encoder's first byte is the initial zero cache
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | read_byte();
+  }
+
+  /// Cumulative-frequency target of the next symbol under a model with
+  /// total 2^total_bits; pass the result to a cum-table lookup, then call
+  /// consume() with the chosen symbol's span.
+  uint32_t decode_target(unsigned total_bits) {
+    r_ = range_ >> total_bits;
+    const uint32_t t = code_ / r_;
+    const uint32_t cap = (uint32_t(1) << total_bits) - 1;
+    return t < cap ? t : cap;
+  }
+
+  /// Narrow the state by the decoded symbol's span [lo, hi); must follow a
+  /// decode_target() with the same total_bits.
+  void consume(uint32_t lo, uint32_t hi, unsigned total_bits) {
+    code_ -= r_ * lo;
+    range_ = hi == (uint32_t(1) << total_bits) ? range_ - r_ * lo : r_ * (hi - lo);
+    while (range_ < kTopValue) {
+      code_ = (code_ << 8) | read_byte();
+      range_ <<= 8;
+    }
+  }
+
+  /// Decode `count` (<= 16) bits written by encode_raw().
+  uint32_t decode_raw(unsigned count) {
+    if (count == 0) return 0;
+    const uint32_t v = decode_target(count);
+    consume(v, v + 1, count);
+    return v;
+  }
+
+  /// True once more bytes were consumed than the stream holds — the decode
+  /// ran off the wire. A complete stream consumes exactly its byte count
+  /// (the decoder's renormalizations mirror the encoder's shift-out
+  /// sequence one for one).
+  [[nodiscard]] bool overrun() const { return used_ > n_; }
+
+ private:
+  static constexpr uint32_t kTopValue = 1u << 24;
+
+  uint32_t read_byte() {
+    const uint32_t b = used_ < n_ ? p_[used_] : 0u;
+    ++used_;
+    return b;
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t used_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  uint32_t r_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Static frequency model.
+// ---------------------------------------------------------------------------
+
+/// Normalize `freq` into `norm` so that every nonzero frequency maps to a
+/// nonzero slot and the slots sum to exactly 2^kArithTotalBits.
+/// Deterministic (no floating point). Requires the number of nonzero
+/// frequencies to be <= 2^kArithTotalBits and each freq < 2^52. Returns the
+/// number of nonzero slots.
+size_t arith_normalize(const uint64_t* freq, size_t n, uint16_t* norm);
+
+/// Exact-enough cost model: upper-bound estimate, in bits, of coding the
+/// symbol stream summarized by `freq` with the normalized model `norm`
+/// (cross-entropy in Q8 fixed point via an integer log2, rounded up per
+/// symbol class), excluding headers and the finish() flush. Integer-only, so
+/// the encoder's Huffman/arith/raw selection is identical on every
+/// platform. Symbols with freq > 0 must have norm > 0.
+uint64_t arith_cost_bits(const uint64_t* freq, const uint16_t* norm, size_t n);
+
+/// Cumulative table + reverse lookup for decode: cum[s] .. cum[s+1] is
+/// symbol s's span; slot[t] is the symbol whose span contains target t.
+struct ArithCumTable {
+  std::vector<uint32_t> cum;   ///< n + 1 entries, cum[n] == kArithTotal (or 0)
+  std::vector<uint16_t> slot;  ///< kArithTotal entries (empty if all-zero)
+
+  /// Build from normalized slots. Returns false if the slots are
+  /// inconsistent (sum != 2^kArithTotalBits and != 0) — corrupt header.
+  bool build(const uint16_t* norm, size_t n, bool want_slots);
+};
+
+}  // namespace sperr::lossless

@@ -7,13 +7,15 @@
 //
 // The production path is block-based and parallel: the input is split into
 // fixed-size blocks (default 1 MiB, recorded in the stream header), each
-// block is tokenized and Huffman-coded independently with its own code
+// block is tokenized and entropy-coded independently with its own code
 // tables, and blocks are (de)coded concurrently under OpenMP. A per-block
-// directory carries each block's compressed size and an XXH64 checksum of
-// its original bytes, so a flipped bit is reported as "block b is corrupt"
-// instead of silently poisoning the archive. Block encoding is streaming:
-// the matcher announces tokens to a sink that feeds the Huffman bit writer
-// directly — no materialized token array, bounded memory per worker.
+// directory carries each block's compressed size, a 2-bit entropy tag
+// (raw / Huffman / arithmetic — whichever the exact-cost pricing says is
+// smallest for that block), and an XXH64 checksum of its original bytes, so
+// a flipped bit is reported as "block b is corrupt" instead of silently
+// poisoning the archive. Block encoding is streaming: the matcher announces
+// tokens to a sink that feeds the entropy coder's bit writer directly — no
+// materialized token array, bounded memory per worker.
 //
 // The pre-existing single-shot whole-input codec survives as
 // encode_reference / decode_reference: it is the equivalence oracle for the
@@ -32,9 +34,17 @@
 
 namespace sperr::lossless {
 
+/// Per-block entropy tags of the format-3 directory (BlockInfo::mode for
+/// tagged streams). Format-2 streams reuse the same numbering via their
+/// payload mode byte (raw = 0, Huffman = 1); arithmetic exists only in
+/// format 3.
+inline constexpr uint8_t kEntropyRaw = 0;
+inline constexpr uint8_t kEntropyHuffman = 1;
+inline constexpr uint8_t kEntropyArith = 2;
+
 /// Knobs for the block-parallel encoder.
 struct EncodeOptions {
-  /// Block granularity in bytes; clamped to [4 KiB, 1 GiB]. Smaller blocks
+  /// Block granularity in bytes; clamped to [4 KiB, 256 MiB]. Smaller blocks
   /// parallelize and localize corruption better, larger blocks give the
   /// matcher more context (the window is 32 KiB, so gains flatten quickly).
   size_t block_size = size_t(1) << 20;
@@ -93,14 +103,17 @@ Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& 
 /// Parsed view of a compressed stream's framing (no payload decoding).
 struct BlockInfo {
   uint64_t offset = 0;     ///< payload offset from the start of the stream
-  uint32_t comp_size = 0;  ///< compressed payload bytes (incl. the mode byte)
+  uint32_t comp_size = 0;  ///< compressed payload bytes (format 2: incl. the
+                           ///< mode byte; format 3: the body alone)
   uint64_t raw_size = 0;   ///< decoded bytes this block covers
   uint64_t checksum = 0;   ///< XXH64 of the raw block bytes
-  uint8_t mode = 0;        ///< 0 = stored raw, 1 = LZ77+Huffman
+  uint8_t mode = 0;        ///< entropy coding: kEntropyRaw / kEntropyHuffman
+                           ///< / kEntropyArith (the latter format 3 only)
 };
 
 struct StreamInfo {
-  bool blocked = false;  ///< true for the block-parallel framing
+  bool blocked = false;  ///< true for the block-parallel framings
+  bool tagged = false;   ///< true for format 3 (entropy tag in the directory)
   uint64_t raw_size = 0;
   size_t block_size = 0;              ///< 0 for reference streams
   std::vector<BlockInfo> blocks;      ///< empty for reference streams

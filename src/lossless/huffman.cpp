@@ -1,31 +1,10 @@
 #include "lossless/huffman.h"
 
 #include <algorithm>
-#include <numeric>
-#include <queue>
 
 namespace sperr::lossless {
 
 namespace {
-
-struct Node {
-  uint64_t weight;
-  int32_t symbol;  // >= 0 for leaves, -1 for internal
-  int32_t left = -1;
-  int32_t right = -1;
-};
-
-// Depth-first walk assigning depths to leaves.
-void assign_depths(const std::vector<Node>& nodes, int32_t idx, unsigned depth,
-                   std::vector<uint8_t>& lengths) {
-  const Node& n = nodes[size_t(idx)];
-  if (n.symbol >= 0) {
-    lengths[size_t(n.symbol)] = uint8_t(depth == 0 ? 1 : depth);
-    return;
-  }
-  assign_depths(nodes, n.left, depth + 1, lengths);
-  assign_depths(nodes, n.right, depth + 1, lengths);
-}
 
 // Enforce the length limit: clamp over-long codes, then restore the Kraft
 // equality by deepening the shallowest candidates (zlib-style fixup).
@@ -71,31 +50,59 @@ std::vector<uint8_t> huffman_code_lengths(const std::vector<uint64_t>& freq,
   const size_t n = freq.size();
   std::vector<uint8_t> lengths(n, 0);
 
-  std::vector<Node> nodes;
-  nodes.reserve(2 * n);
-  using HeapItem = std::pair<uint64_t, int32_t>;  // (weight, node index)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-
-  for (size_t i = 0; i < n; ++i) {
-    if (freq[i] == 0) continue;
-    nodes.push_back({freq[i], int32_t(i)});
-    heap.emplace(freq[i], int32_t(nodes.size() - 1));
-  }
-  if (heap.empty()) return lengths;
-  if (heap.size() == 1) {
-    lengths[size_t(nodes[0].symbol)] = 1;
+  // Sort the present symbols once by (weight, symbol); the classic two-queue
+  // merge then builds the tree in O(n) — both queues stay non-decreasing, so
+  // the two lightest roots are always at one of the two fronts. No heap, no
+  // per-merge sifting.
+  struct Leaf {
+    uint64_t weight;
+    uint32_t symbol;
+  };
+  std::vector<Leaf> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i)
+    if (freq[i] != 0) leaves.push_back({freq[i], uint32_t(i)});
+  if (leaves.empty()) return lengths;
+  if (leaves.size() == 1) {
+    lengths[leaves[0].symbol] = 1;
     return lengths;
   }
+  std::sort(leaves.begin(), leaves.end(), [](const Leaf& a, const Leaf& b) {
+    return a.weight != b.weight ? a.weight < b.weight : a.symbol < b.symbol;
+  });
 
-  while (heap.size() > 1) {
-    auto [wa, a] = heap.top();
-    heap.pop();
-    auto [wb, b] = heap.top();
-    heap.pop();
-    nodes.push_back({wa + wb, -1, a, b});
-    heap.emplace(wa + wb, int32_t(nodes.size() - 1));
+  // Node array: [0, nl) = sorted leaves, [nl, nl + nl - 1) = internal nodes
+  // in creation (non-decreasing weight) order. parent[] links children up.
+  const size_t nl = leaves.size();
+  const size_t total = 2 * nl - 1;
+  std::vector<uint64_t> weight(total);
+  std::vector<uint32_t> parent(total, 0);
+  for (size_t i = 0; i < nl; ++i) weight[i] = leaves[i].weight;
+
+  size_t leaf_at = 0;      // next unmerged leaf
+  size_t internal_at = nl; // next unmerged internal node
+  for (size_t next = nl; next < total; ++next) {
+    uint64_t w = 0;
+    for (int pick = 0; pick < 2; ++pick) {
+      // Prefer the leaf on ties: merging older (leaf) nodes first keeps the
+      // tree shallow and the choice deterministic.
+      const bool take_leaf =
+          leaf_at < nl &&
+          (internal_at >= next || weight[leaf_at] <= weight[internal_at]);
+      const size_t idx = take_leaf ? leaf_at++ : internal_at++;
+      parent[idx] = uint32_t(next);
+      w += weight[idx];
+    }
+    weight[next] = w;
   }
-  assign_depths(nodes, heap.top().second, 0, lengths);
+
+  // Every node's parent has a higher index, so one reverse sweep resolves
+  // all depths without recursion.
+  std::vector<uint8_t> depth(total, 0);
+  for (size_t i = total - 1; i-- > 0;)
+    depth[i] = uint8_t(depth[parent[i]] + 1);
+  for (size_t i = 0; i < nl; ++i) lengths[leaves[i].symbol] = depth[i];
+
   limit_lengths(lengths, max_len);
   return lengths;
 }

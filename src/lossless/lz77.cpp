@@ -1,15 +1,30 @@
 #include "lossless/lz77.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 namespace sperr::lossless {
 
 namespace {
 
-constexpr size_t kHashBits = 15;
+constexpr size_t kHashBits = 16;
 constexpr size_t kHashSize = size_t(1) << kHashBits;
-constexpr int kMaxChainLen = 64;
+constexpr size_t kWindowMask = kWindowSize - 1;
+constexpr int kMaxChainLen = 48;
+// A match this long is "good enough": stop walking the chain and skip the
+// lazy re-search (zlib's nice_match). Must stay < kMaxMatch so the
+// quick-reject probe below never reads past the match limit.
+constexpr uint32_t kNiceLength = 130;
+// Once the current best reaches this, walk only a quarter of the remaining
+// chain (zlib's good_match); further gains are marginal.
+constexpr uint32_t kGoodLength = 32;
+// Literal-run skip acceleration: after `miss` consecutive un-matched
+// positions the search stride is 1 + (miss >> kSkipShift), capped. On random
+// data this makes search cost sublinear while a transition back to
+// compressible bytes is found within one (bounded) stride.
+constexpr size_t kSkipShift = 5;
+constexpr size_t kMaxSkip = 128;
 
 inline uint32_t hash4(const uint8_t* p) {
   uint32_t v;
@@ -17,61 +32,92 @@ inline uint32_t hash4(const uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
+/// Matching prefix length of a and b, 8 bytes per step.
 inline size_t match_length(const uint8_t* a, const uint8_t* b, size_t max_len) {
   size_t n = 0;
+  while (n + 8 <= max_len) {
+    uint64_t x, y;
+    std::memcpy(&x, a + n, 8);
+    std::memcpy(&y, b + n, 8);
+    const uint64_t diff = x ^ y;
+    if (diff != 0) {
+      if constexpr (std::endian::native == std::endian::little)
+        return n + (size_t(std::countr_zero(diff)) >> 3);
+      else
+        return n + (size_t(std::countl_zero(diff)) >> 3);
+    }
+    n += 8;
+  }
   while (n < max_len && a[n] == b[n]) ++n;
   return n;
 }
 
 struct Matcher {
-  std::vector<int64_t>& head;
-  std::vector<int64_t>& prev;
+  int32_t* head;
+  int32_t* prev;
   const uint8_t* data;
   size_t size;
-  size_t inserted = 0;  ///< all positions < inserted are in the hash chains
+  size_t next_insert = 0;  ///< insertions are strictly increasing positions
 
-  Matcher(const uint8_t* d, size_t s, MatchScratch& scratch)
-      : head(scratch.head), prev(scratch.prev), data(d), size(s) {
-    head.assign(kHashSize, -1);
-    // prev needs no clearing: prev[i] is written when position i is inserted,
-    // and chains only ever reach inserted positions.
-    if (prev.size() < s) prev.resize(s);
+  Matcher(const uint8_t* d, size_t s, MatchScratch& scratch) : data(d), size(s) {
+    scratch.head.assign(kHashSize, -1);
+    // The ring needs no clearing: slot p & kWindowMask is written when
+    // position p is inserted, and chains only ever follow written slots.
+    if (scratch.prev.size() < kWindowSize) scratch.prev.resize(kWindowSize);
+    head = scratch.head.data();
+    prev = scratch.prev.data();
   }
 
-  /// Register every position in [inserted, target) in the hash chains.
-  void insert_upto(size_t target) {
-    target = std::min(target, size);
-    for (; inserted < target; ++inserted) {
-      if (inserted + 4 > size) continue;
-      const uint32_t h = hash4(data + inserted);
-      prev[inserted] = head[h];
-      head[h] = int64_t(inserted);
+  /// Register position `p` in the hash chains (no-op if already inserted or
+  /// too close to the end to hash). Calls must use non-decreasing `p`.
+  inline void insert(size_t p) {
+    if (p < next_insert || p + 4 > size) return;
+    const uint32_t h = hash4(data + p);
+    prev[p & kWindowMask] = head[h];
+    head[h] = int32_t(p);
+    next_insert = p + 1;
+  }
+
+  /// Register every not-yet-inserted position in [from, to).
+  inline void insert_range(size_t from, size_t to) {
+    size_t p = std::max(from, next_insert);
+    const size_t stop = std::min(to, size >= 4 ? size - 3 : size_t(0));
+    for (; p < stop; ++p) {
+      const uint32_t h = hash4(data + p);
+      prev[p & kWindowMask] = head[h];
+      head[h] = int32_t(p);
     }
+    if (to > next_insert) next_insert = to;
   }
 
-  /// Best match at `pos` against strictly earlier positions; length 0 if no
-  /// match of at least kMinMatch exists.
-  Token best_match(size_t pos) const {
+  /// Best match at `pos` of length >= min_len against strictly earlier
+  /// inserted positions; length 0 if none. `max_chain` caps the walk.
+  Token best_match(size_t pos, uint32_t min_len, int max_chain) const {
     Token best{};
-    if (pos + kMinMatch > size) return best;
     const size_t max_len = std::min(kMaxMatch, size - pos);
-    int64_t cand = head[hash4(data + pos)];
-    int chain = kMaxChainLen;
-    while (cand >= 0 && chain-- > 0) {
-      const size_t cpos = size_t(cand);
-      if (cpos >= pos) {  // pos itself may already be inserted; skip it
-        cand = prev[cpos];
-        ++chain;
-        continue;
+    if (max_len < kMinMatch) return best;
+    uint32_t best_len = min_len - 1;
+    if (best_len >= max_len) return best;
+
+    int32_t cand = head[hash4(data + pos)];
+    if (cand >= 0 && size_t(cand) == pos) cand = prev[pos & kWindowMask];
+    const uint8_t* cur = data + pos;
+    int chain = max_chain;
+    while (cand >= 0 && pos - size_t(cand) <= kWindowSize && chain-- > 0) {
+      const uint8_t* cp = data + size_t(cand);
+      // Quick reject: a longer match must agree at the current best length.
+      if (cp[best_len] == cur[best_len]) {
+        const size_t len = match_length(cp, cur, max_len);
+        if (len > best_len) {
+          best_len = uint32_t(len);
+          best.length = uint32_t(len);
+          best.distance = uint32_t(pos - size_t(cand));
+          if (len >= kNiceLength || len == max_len) break;
+        }
       }
-      if (pos - cpos > kWindowSize) break;
-      const size_t len = match_length(data + cpos, data + pos, max_len);
-      if (len >= kMinMatch && len > best.length) {
-        best.length = uint32_t(len);
-        best.distance = uint32_t(pos - cpos);
-        if (len == max_len) break;
-      }
-      cand = prev[cpos];
+      const int32_t next = prev[size_t(cand) & kWindowMask];
+      if (next >= cand) break;  // stale ring slot: chains strictly decrease
+      cand = next;
     }
     return best;
   }
@@ -86,29 +132,41 @@ void lz77_scan(const uint8_t* data, size_t size, TokenSink& sink,
   Matcher m(data, size, scratch ? *scratch : local);
 
   size_t pos = 0;
-  while (pos < size) {
-    Token match = m.best_match(pos);
-    if (match.length >= kMinMatch && pos + 1 < size) {
+  size_t lit_start = 0;  // pending literal run is [lit_start, pos)
+  size_t miss = 0;       // consecutive searched positions without a match
+  const size_t search_end = size >= kMinMatch ? size - kMinMatch + 1 : 0;
+
+  while (pos < search_end) {
+    Token match = m.best_match(pos, kMinMatch, kMaxChainLen);
+    if (match.length == 0) {
+      // No match: stride forward, accelerating through incompressible runs.
+      // Skipped positions are left out of the dictionary on purpose — data
+      // that produces no matches is not worth indexing densely.
+      m.insert(pos);
+      const size_t step = std::min(kMaxSkip, 1 + (miss >> kSkipShift));
+      miss += step;
+      pos += step;
+      continue;
+    }
+    miss = 0;
+    if (match.length < kNiceLength && pos + 1 < search_end) {
       // One-step lazy evaluation: emit a literal instead if the match at
       // pos + 1 is strictly better (zlib's heuristic, improves dense data).
-      m.insert_upto(pos + 1);
-      const Token next = m.best_match(pos + 1);
-      if (next.length > match.length + 1) {
-        sink.on_literal(data[pos]);
-        ++pos;
+      m.insert(pos);
+      const int chain = match.length >= kGoodLength ? kMaxChainLen / 4 : kMaxChainLen;
+      const Token next = m.best_match(pos + 1, match.length + 2, chain);
+      if (next.length != 0) {
+        ++pos;  // data[pos - 1] joins the pending literal run
         match = next;
       }
     }
-    if (match.length >= kMinMatch) {
-      sink.on_match(match.length, match.distance);
-      m.insert_upto(pos + match.length);
-      pos += match.length;
-    } else {
-      sink.on_literal(data[pos]);
-      m.insert_upto(pos + 1);
-      ++pos;
-    }
+    if (pos > lit_start) sink.on_literals(data + lit_start, pos - lit_start);
+    sink.on_match(match.length, match.distance);
+    m.insert_range(pos, pos + match.length);
+    pos += match.length;
+    lit_start = pos;
   }
+  if (size > lit_start) sink.on_literals(data + lit_start, size - lit_start);
 }
 
 namespace {
@@ -149,9 +207,26 @@ bool lz77_reconstruct(const std::vector<Token>& tokens, std::vector<uint8_t>& ou
       continue;
     }
     if (t.distance == 0 || t.distance > out.size()) return false;
+    const size_t len = t.length;
     const size_t start = out.size() - t.distance;
-    // Byte-by-byte copy: overlapping matches (distance < length) replicate.
-    for (size_t i = 0; i < t.length; ++i) out.push_back(out[start + i]);
+    out.resize(out.size() + len);
+    uint8_t* dst = out.data() + out.size() - len;
+    const uint8_t* src = out.data() + start;
+    if (t.distance >= len) {
+      std::memcpy(dst, src, len);
+    } else {
+      // Overlapping match: seed one period, then double the copied region
+      // until `len` is covered. Each memcpy's source and destination are
+      // disjoint, so this widens to bulk copies while preserving the
+      // byte-serial replication semantics.
+      size_t copied = std::min<size_t>(t.distance, len);
+      std::memcpy(dst, src, copied);
+      while (copied < len) {
+        const size_t chunk = std::min(copied, len - copied);
+        std::memcpy(dst + copied, dst, chunk);
+        copied += chunk;
+      }
+    }
   }
   return true;
 }

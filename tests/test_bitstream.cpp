@@ -99,6 +99,56 @@ TEST(BitReader, GetBitsRoundTrip) {
   for (const auto& [v, w] : values) EXPECT_EQ(br.get_bits(w), v);
 }
 
+TEST(WordBitWriter, MatchesBitWriterOnRandomSequences) {
+  // Byte-for-byte equivalence with BitWriter is the class's documented
+  // invariant. Widths sweep the full 1..56 contract, including long runs of
+  // wide writes that keep the accumulator nearly full — the regime where a
+  // deferred-spill implementation overflows the 64-bit register.
+  for (const uint64_t seed : {3u, 77u, 2026u}) {
+    Rng rng(seed);
+    BitWriter ref;
+    WordBitWriter fast;
+    for (int i = 0; i < 20000; ++i) {
+      const unsigned width = 1 + unsigned(rng.below(56));
+      const uint64_t v = rng.next() & ((uint64_t(1) << width) - 1);
+      ref.put_bits(v, width);
+      fast.put_bits(v, width);
+      ASSERT_EQ(fast.bit_count(), ref.bit_count());
+    }
+    EXPECT_EQ(fast.finish(), ref.bytes());
+  }
+}
+
+TEST(WordBitWriter, MaxWidthWritesBackToBack) {
+  // All-ones 56-bit writes at every starting phase 0..7 of the accumulator.
+  for (unsigned phase = 0; phase < 8; ++phase) {
+    BitWriter ref;
+    WordBitWriter fast;
+    if (phase != 0) {
+      ref.put_bits(0, phase);
+      fast.put_bits(0, phase);
+    }
+    const uint64_t ones = (uint64_t(1) << 56) - 1;
+    for (int i = 0; i < 64; ++i) {
+      ref.put_bits(ones, 56);
+      fast.put_bits(ones, 56);
+    }
+    EXPECT_EQ(fast.finish(), ref.bytes()) << "phase " << phase;
+  }
+}
+
+TEST(WordBitWriter, ClearResetsForReuse) {
+  WordBitWriter w;
+  w.put_bits(0x3FF, 10);
+  (void)w.finish();
+  w.clear();
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put_bits(0x5, 3);
+  const auto& bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x5);
+}
+
 TEST(BitReader, BitsReadAndLeft) {
   BitWriter bw;
   bw.put_bits(0xabcd, 16);

@@ -98,6 +98,7 @@ TEST(CodecBlocked, DirectoryCoversEveryBlockWithChecksums) {
   StreamInfo info;
   ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
   EXPECT_EQ(info.block_size, kSmallBlock);
+  EXPECT_TRUE(info.tagged);  // format 3: entropy tag lives in the directory
   ASSERT_EQ(info.blocks.size(), 4u);
   uint64_t raw_total = 0;
   for (size_t b = 0; b < info.blocks.size(); ++b) {
@@ -105,14 +106,20 @@ TEST(CodecBlocked, DirectoryCoversEveryBlockWithChecksums) {
     raw_total += bi.raw_size;
     EXPECT_EQ(bi.checksum,
               xxhash64(input.data() + b * kSmallBlock, size_t(bi.raw_size)));
-    EXPECT_EQ(bi.mode, packed[size_t(bi.offset)]);
+    // The tag round-trips through the packed directory word at 18 + 12*b.
+    const size_t entry = 18 + 12 * b;
+    const uint32_t word = uint32_t(packed[entry]) | (uint32_t(packed[entry + 1]) << 8) |
+                          (uint32_t(packed[entry + 2]) << 16) |
+                          (uint32_t(packed[entry + 3]) << 24);
+    EXPECT_EQ(bi.mode, uint8_t(word >> 30));
+    EXPECT_EQ(bi.comp_size, word & ((uint32_t(1) << 30) - 1));
   }
   EXPECT_EQ(raw_total, input.size());
 }
 
 TEST(CodecBlocked, IncompressibleBlocksStoreRawPerBlock) {
-  // Random halves force kModeRaw; a compressible half stays kModeLz — the
-  // fallback decision is per block, not per stream.
+  // Random halves force raw storage; a compressible half gets entropy
+  // coding — the selection is per block, not per stream.
   auto input = random_blob(2 * kSmallBlock, 7);
   const auto tail = compressible_blob(kSmallBlock, 8);
   input.insert(input.end(), tail.begin(), tail.end());
@@ -120,11 +127,11 @@ TEST(CodecBlocked, IncompressibleBlocksStoreRawPerBlock) {
   StreamInfo info;
   ASSERT_EQ(inspect(packed.data(), packed.size(), info), Status::ok);
   ASSERT_EQ(info.blocks.size(), 3u);
-  EXPECT_EQ(info.blocks[0].mode, 0);  // raw
-  EXPECT_EQ(info.blocks[1].mode, 0);  // raw
-  EXPECT_EQ(info.blocks[2].mode, 1);  // LZ
-  // A raw block costs exactly its size plus the mode byte.
-  EXPECT_EQ(info.blocks[0].comp_size, kSmallBlock + 1);
+  EXPECT_EQ(info.blocks[0].mode, kEntropyRaw);
+  EXPECT_EQ(info.blocks[1].mode, kEntropyRaw);
+  EXPECT_NE(info.blocks[2].mode, kEntropyRaw);  // Huffman or arithmetic
+  // A raw block costs exactly its size: format 3 has no per-payload byte.
+  EXPECT_EQ(info.blocks[0].comp_size, kSmallBlock);
   std::vector<uint8_t> out;
   ASSERT_EQ(decompress(packed, out), Status::ok);
   EXPECT_EQ(out, input);

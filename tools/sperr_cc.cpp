@@ -348,10 +348,14 @@ int cmd_info(const Args& args) {
     if (sperr::lossless::inspect(blob.data() + kOuterBytes, blob.size() - kOuterBytes,
                                  li) == sperr::Status::ok &&
         li.blocked) {
-      size_t raw_blocks = 0;
-      for (const auto& b : li.blocks) raw_blocks += b.mode == 0;
-      std::printf("lossless:    %zu block(s) of %zu KiB, %zu stored raw, checksummed\n",
-                  li.blocks.size(), li.block_size >> 10, raw_blocks);
+      size_t by_tag[3] = {};
+      for (const auto& b : li.blocks)
+        ++by_tag[b.mode < 3 ? b.mode : sperr::lossless::kEntropyRaw];
+      std::printf(
+          "lossless:    %zu block(s) of %zu KiB (%zu raw / %zu huffman / %zu arith), "
+          "checksummed\n",
+          li.blocks.size(), li.block_size >> 10, by_tag[sperr::lossless::kEntropyRaw],
+          by_tag[sperr::lossless::kEntropyHuffman], by_tag[sperr::lossless::kEntropyArith]);
     } else {
       std::printf("lossless:    single-block reference framing (no checksums)\n");
     }
