@@ -8,7 +8,7 @@
 // an artifact):
 //   bench_micro --wavelet_json=BENCH_wavelet.json [--wavelet_n=256]
 // A third mode does the same for the flattened-vs-reference SPECK coder:
-//   bench_micro --speck_json=BENCH_speck.json [--speck_n=256]
+//   bench_micro --speck_json=BENCH_speck.json [--speck_n=256] [--speck_threads=8]
 // A fourth mode records the block-parallel lossless codec against the
 // single-block reference on a real SPERR container payload:
 //   bench_micro --lossless_json=BENCH_lossless.json [--lossless_n=256]
@@ -317,20 +317,26 @@ int write_wavelet_json(const std::string& path, size_t n, int repeats) {
 struct SpeckRecord {
   Dims dims;
   int repeats = 3;
+  int threads = 8;             // lanes for the parallel measurements
   size_t planes = 0;
   size_t payload_bits = 0;
   double ref_encode_s = 0.0;   // best-of-repeats, recursive reference coder
   double ref_decode_s = 0.0;
-  double fast_encode_s = 0.0;  // flattened production coder
+  double fast_encode_s = 0.0;  // flattened production coder, serial
   double fast_decode_s = 0.0;
-  bool bit_identical = false;
+  double par_encode_s = 0.0;   // production coder at `threads` lanes
+  double par_decode_s = 0.0;
+  bool bit_identical = false;      // serial fast coder vs reference
+  bool parallel_bit_identical = false;  // every thread count vs reference
+  std::vector<sperr::speck::PassTiming> passes;  // serial fast encode
 };
 
-SpeckRecord run_speck_record(size_t n, int repeats) {
+SpeckRecord run_speck_record(size_t n, int repeats, int threads) {
   using namespace sperr::speck;
   SpeckRecord rec;
   rec.dims = Dims{n, n, n};
   rec.repeats = repeats;
+  rec.threads = threads;
 
   auto coeffs = sperr::data::miranda_pressure(rec.dims);
   sperr::wavelet::forward_dwt(coeffs.data(), rec.dims);
@@ -355,10 +361,25 @@ SpeckRecord run_speck_record(size_t n, int repeats) {
                   ref_out.size() * sizeof(double)) == 0;
   rec.planes = fast_stats.planes_coded;
   rec.payload_bits = fast_stats.payload_bits;
+  rec.passes = fast_stats.passes;
+
+  // Intra-chunk lane determinism: streams and decodes must stay identical
+  // at every thread count, not just the benchmarked one.
+  rec.parallel_bit_identical = rec.bit_identical;
+  for (const int t : {2, 4, 8}) {
+    const auto s = encode(coeffs.data(), rec.dims, q, 0, nullptr, nullptr, t);
+    std::vector<double> out(coeffs.size());
+    (void)decode(s.data(), s.size(), rec.dims, out.data(), nullptr, t);
+    rec.parallel_bit_identical =
+        rec.parallel_bit_identical && s == ref_stream &&
+        std::memcmp(out.data(), ref_out.data(),
+                    out.size() * sizeof(double)) == 0;
+  }
 
   sperr::Timer timer;
   rec.ref_encode_s = rec.ref_decode_s = 1e300;
   rec.fast_encode_s = rec.fast_decode_s = 1e300;
+  rec.par_encode_s = rec.par_decode_s = 1e300;
   for (int r = 0; r < repeats; ++r) {
     timer.reset();
     auto s = encode_reference(coeffs.data(), rec.dims, q);
@@ -371,6 +392,11 @@ SpeckRecord run_speck_record(size_t n, int repeats) {
     benchmark::DoNotOptimize(s.data());
 
     timer.reset();
+    s = encode(coeffs.data(), rec.dims, q, 0, nullptr, nullptr, threads);
+    rec.par_encode_s = std::min(rec.par_encode_s, timer.seconds());
+    benchmark::DoNotOptimize(s.data());
+
+    timer.reset();
     (void)decode_reference(ref_stream.data(), ref_stream.size(), rec.dims,
                            ref_out.data());
     rec.ref_decode_s = std::min(rec.ref_decode_s, timer.seconds());
@@ -380,51 +406,85 @@ SpeckRecord run_speck_record(size_t n, int repeats) {
     (void)decode(fast_stream.data(), fast_stream.size(), rec.dims, fast_out.data());
     rec.fast_decode_s = std::min(rec.fast_decode_s, timer.seconds());
     benchmark::DoNotOptimize(fast_out.data());
+
+    timer.reset();
+    (void)decode(fast_stream.data(), fast_stream.size(), rec.dims,
+                 fast_out.data(), nullptr, threads);
+    rec.par_decode_s = std::min(rec.par_decode_s, timer.seconds());
+    benchmark::DoNotOptimize(fast_out.data());
   }
   return rec;
 }
 
-int write_speck_json(const std::string& path, size_t n, int repeats) {
-  const SpeckRecord rec = run_speck_record(n, repeats);
+int write_speck_json(const std::string& path, size_t n, int repeats, int threads) {
+  const SpeckRecord rec = run_speck_record(n, repeats, threads);
   const double mvox_e = double(rec.dims.total()) / 1e6;
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
     return 1;
   }
-  char buf[1536];
+  char buf[2560];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
       "  \"benchmark\": \"speck_3d_encode_decode\",\n"
       "  \"dims\": [%zu, %zu, %zu],\n"
       "  \"repeats\": %d,\n"
+      "  \"threads\": %d,\n"
       "  \"planes\": %zu,\n"
       "  \"payload_bits\": %zu,\n"
       "  \"reference_encode_seconds\": %.6f,\n"
       "  \"reference_decode_seconds\": %.6f,\n"
       "  \"fast_encode_seconds\": %.6f,\n"
       "  \"fast_decode_seconds\": %.6f,\n"
+      "  \"parallel_encode_seconds\": %.6f,\n"
+      "  \"parallel_decode_seconds\": %.6f,\n"
       "  \"encode_speedup\": %.3f,\n"
       "  \"decode_speedup\": %.3f,\n"
       "  \"combined_speedup\": %.3f,\n"
+      "  \"parallel_encode_speedup\": %.3f,\n"
+      "  \"parallel_decode_speedup\": %.3f,\n"
       "  \"fast_encode_mvox_s\": %.2f,\n"
       "  \"fast_decode_mvox_s\": %.2f,\n"
-      "  \"bit_identical\": %s\n"
-      "}\n",
-      rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats, rec.planes,
+      "  \"bit_identical\": %s,\n"
+      "  \"parallel_bit_identical\": %s,\n",
+      rec.dims.x, rec.dims.y, rec.dims.z, rec.repeats, rec.threads, rec.planes,
       rec.payload_bits, rec.ref_encode_s, rec.ref_decode_s, rec.fast_encode_s,
-      rec.fast_decode_s, rec.ref_encode_s / rec.fast_encode_s,
+      rec.fast_decode_s, rec.par_encode_s, rec.par_decode_s,
+      rec.ref_encode_s / rec.fast_encode_s,
       rec.ref_decode_s / rec.fast_decode_s,
       (rec.ref_encode_s + rec.ref_decode_s) /
           (rec.fast_encode_s + rec.fast_decode_s),
+      rec.fast_encode_s / rec.par_encode_s,
+      rec.fast_decode_s / rec.par_decode_s,
       mvox_e / rec.fast_encode_s, mvox_e / rec.fast_decode_s,
-      rec.bit_identical ? "true" : "false");
-  out << buf;
-  std::printf("%s", buf);
-  // A fast coder that is not bit-identical to the reference is a correctness
-  // regression: fail so CI notices.
-  if (!rec.bit_identical) return 2;
+      rec.bit_identical ? "true" : "false",
+      rec.parallel_bit_identical ? "true" : "false");
+  std::string json(buf);
+  // Per-pass cost records from the serial fast encode, top plane first. The
+  // bit counts are stream properties (reproducible anywhere); the seconds
+  // are this machine's wall clock.
+  json += "  \"per_pass\": [\n";
+  for (size_t i = 0; i < rec.passes.size(); ++i) {
+    const auto& p = rec.passes[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"plane\": %d, \"sorting_seconds\": %.6f,"
+                  " \"significance_seconds\": %.6f,"
+                  " \"refinement_seconds\": %.6f,"
+                  " \"sorting_bits\": %llu, \"refinement_bits\": %llu}%s\n",
+                  p.plane, p.sorting_s, p.significance_s, p.refinement_s,
+                  static_cast<unsigned long long>(p.sorting_bits),
+                  static_cast<unsigned long long>(p.refinement_bits),
+                  i + 1 < rec.passes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+  out << json;
+  std::printf("%s", json.c_str());
+  // A fast coder that is not bit-identical to the reference — serial or at
+  // any lane count — is a correctness regression: fail so CI notices.
+  if (!rec.bit_identical || !rec.parallel_bit_identical) return 2;
   return 0;
 }
 
@@ -689,6 +749,7 @@ int main(int argc, char** argv) {
   size_t recovery_n = 128;
   int repeats = 3;
   int speck_repeats = 3;
+  int speck_threads = 8;
   int lossless_repeats = 3;
   int recovery_repeats = 3;
   int lossless_threads = 8;
@@ -707,6 +768,8 @@ int main(int argc, char** argv) {
       speck_n = std::stoul(arg.substr(std::strlen("--speck_n=")));
     } else if (arg.rfind("--speck_repeats=", 0) == 0) {
       speck_repeats = std::stoi(arg.substr(std::strlen("--speck_repeats=")));
+    } else if (arg.rfind("--speck_threads=", 0) == 0) {
+      speck_threads = std::stoi(arg.substr(std::strlen("--speck_threads=")));
     } else if (arg.rfind("--lossless_json=", 0) == 0) {
       lossless_json_path = arg.substr(std::strlen("--lossless_json="));
     } else if (arg.rfind("--lossless_n=", 0) == 0) {
@@ -727,7 +790,8 @@ int main(int argc, char** argv) {
   }
   if (!json_path.empty()) return write_wavelet_json(json_path, wavelet_n, repeats);
   if (!speck_json_path.empty())
-    return write_speck_json(speck_json_path, speck_n, speck_repeats);
+    return write_speck_json(speck_json_path, speck_n, speck_repeats,
+                            speck_threads);
   if (!lossless_json_path.empty())
     return write_lossless_json(lossless_json_path, lossless_n, lossless_repeats,
                                lossless_threads);

@@ -45,6 +45,27 @@ void WordBitWriter::grow() {
   bytes_.resize(std::max<size_t>(256, bytes_.size() * 2));
 }
 
+size_t BitReader::peek_zero_run(size_t limit) const {
+  const size_t avail = pos_ < nbits_ ? nbits_ - pos_ : 0;
+  limit = std::min(limit, avail);
+  size_t run = 0;
+  size_t p = pos_;
+  while (run < limit) {
+    const unsigned off = unsigned(p % 8);
+    const unsigned chunk = unsigned(std::min<size_t>(8 - off, limit - run));
+    const unsigned window = (unsigned(data_[p / 8]) >> off) & ((1u << chunk) - 1u);
+    if (window != 0) {
+      // First 1-bit inside the window ends the run.
+      unsigned z = 0;
+      while (((window >> z) & 1u) == 0) ++z;
+      return run + z;
+    }
+    run += chunk;
+    p += chunk;
+  }
+  return run;
+}
+
 uint64_t BitReader::get_bits(unsigned count) {
   if (count == 0) return 0;
   const size_t avail = pos_ < nbits_ ? nbits_ - pos_ : 0;

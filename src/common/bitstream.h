@@ -80,7 +80,40 @@ class WordBitWriter {
     }
   }
 
+  /// Append `count` zero bits (any count), batched through put_bits. The
+  /// SPECK sorting sweep emits long runs of insignificant-set zeros this
+  /// way instead of one put per set.
+  void put_zeros(size_t count) {
+    while (count >= 48) {
+      put_bits(0, 48);
+      count -= 48;
+    }
+    if (count) put_bits(0, unsigned(count));
+  }
+
+  /// Append `nbits` bits from an LSB-first packed byte buffer (the format
+  /// finish() produces), 48 bits per put_bits call. This is how per-lane
+  /// bit streams from a parallel sweep merge into the master stream in
+  /// deterministic lane order.
+  void append_bits(const uint8_t* bytes, size_t nbits) {
+    size_t done = 0;
+    while (nbits - done >= 48) {
+      uint64_t v = 0;
+      const size_t byte = done >> 3;  // done is a multiple of 48, so aligned
+      for (unsigned i = 0; i < 6; ++i) v |= uint64_t(bytes[byte + i]) << (8 * i);
+      put_bits(v, 48);
+      done += 48;
+    }
+    while (done < nbits) {
+      const unsigned take = unsigned(std::min<size_t>(8, nbits - done));
+      const uint8_t mask = uint8_t((take < 8 ? (1u << take) : 256u) - 1u);
+      put_bits(bytes[done >> 3] & mask, take);
+      done += take;
+    }
+  }
+
   [[nodiscard]] size_t bit_count() const { return nbit_; }
+  [[nodiscard]] size_t byte_count() const { return (nbit_ + 7) / 8; }
 
   /// Flush the accumulator tail and return the packed bytes (sized to
   /// ceil(bit_count / 8), trailing bits of the last byte zero). The writer
@@ -127,6 +160,16 @@ class BitReader {
   /// as zero (latching exhausted(), like get()). Byte-at-a-time internally —
   /// the word-batched counterpart of get() for refinement-style bulk reads.
   [[nodiscard]] uint64_t get_bits(unsigned count);
+
+  /// Length of the run of zero bits starting at the cursor, capped at
+  /// min(limit, bits_left()). Does not consume bits or latch exhausted():
+  /// the SPECK decoder peeks the insignificant-set run, bulk-skips it, then
+  /// resumes bit-by-bit at the first 1-bit (or stream end).
+  [[nodiscard]] size_t peek_zero_run(size_t limit) const;
+
+  /// Advance the cursor by `count` bits. Caller guarantees
+  /// count <= bits_left() (peek_zero_run's clamp provides this).
+  void skip(size_t count) { pos_ += count; }
 
   [[nodiscard]] bool exhausted() const { return exhausted_; }
   [[nodiscard]] size_t bits_read() const { return pos_; }

@@ -21,11 +21,19 @@ struct DecodeStats {
 
 /// Decode a stream produced by speck::encode into `coeffs` (dims.total()
 /// doubles, fully overwritten; dead-zone coefficients become 0).
+///
+/// `threads` parallelizes the data-parallel parts of the decode — the
+/// refinement-pass value updates and the final coefficient scatter (the
+/// sorting pass is bit-serial by nature). The output is identical at every
+/// thread count: each parallel region partitions a contiguous array into
+/// fixed lanes of element-independent updates. 0 = one lane per hardware
+/// thread.
 Status decode(const uint8_t* stream,
               size_t nbytes,
               Dims dims,
               double* coeffs,
-              DecodeStats* stats = nullptr);
+              DecodeStats* stats = nullptr,
+              int threads = 1);
 
 /// The original recursive decoder (reference.cpp), kept as the oracle for
 /// the flattened production decoder — identical output coefficients and

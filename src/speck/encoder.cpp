@@ -1,48 +1,89 @@
-// Production SPECK encoder: flattened, batch-friendly rewrite of the
-// reference coder (reference.cpp), emitting bit-identical streams.
+// Production SPECK encoder: data-parallel sweep rewrite of the reference
+// coder (reference.cpp), emitting bit-identical streams.
 //
 //   * The set hierarchy and every set's maximum significance plane are
 //     precomputed once into the contiguous SetTree (settree.h) — the
 //     per-plane significance test collapses from a lazy strided box scan
-//     plus a double compare to one int16 load and compare.
-//   * The recursive set descent becomes an iterative worklist: LIS buckets
-//     hold packed 4-byte node ids instead of 40-byte box entries, and the
-//     within-pass descent runs on an explicit frame stack in DFS order (the
-//     reference's recursion order), preserving the deducible-significance
-//     rule bit for bit.
-//   * Refinement-pass bits are precomputed: when a coefficient turns
-//     significant at plane p, its entire future refinement bit sequence is
-//     captured as one integer (see found_significant for the derivation
-//     from the reference's strict-> residual chain). Each refinement pass
-//     is then a read-only scan extracting bit n from a packed uint64 per
-//     entry, batched into 64-bit words through BitWriter's word path. The
-//     budgeted mode (and the out-of-range >50-plane case) keeps the
-//     reference's per-bit residual walk to stop on the exact budget bit.
+//     plus a double compare to one int8 load and compare.
+//   * Worklists are stable SoA buckets: an entry's set id and its cached
+//     max plane are appended once and never copied again; a descended
+//     entry is tombstoned (kConsumed) in place. The per-plane sorting
+//     sweep packs each bucket's significance and liveness tests into
+//     64-wide words (SSE2 byte compares where available, a scalar
+//     compare loop otherwise), counts insignificant-set runs with
+//     popcounts over those words, and emits each run as one put_zeros —
+//     the memory traffic per plane is one byte per listed set instead of
+//     a worklist copy. Only significant sets enter the frame-stack
+//     descent (the reference's recursion order, preserving the
+//     deducible-significance rule bit for bit).
+//   * Refinement bits are transposed at discovery: when a coefficient
+//     turns significant at plane p, its whole future refinement sequence
+//     is known (one integer — see sweep_found_significant for the
+//     derivation from the reference's strict-> residual chain), and its
+//     bits are appended to per-plane bit buffers right there. A
+//     refinement pass is then a single word-batched append of the
+//     prebuilt buffer for that plane — it never rescans the LSP.
+//   * Deterministic intra-chunk parallelism (threads > 1): each bucket's
+//     entries are partitioned into fixed, word-aligned contiguous lanes;
+//     every lane sweeps its slice into private bit/arrival/LNSP/refinement
+//     buffers, and the per-lane outputs merge in lane order. Lane
+//     concatenation reproduces the serial entry order exactly, so the
+//     stream is byte-identical at every thread count. (Safe because a
+//     descent from bucket d only spawns entries for strictly deeper
+//     buckets, never for the bucket being swept.)
+//
+// The budgeted mode (which must stop on the exact budget bit) and the
+// >50-plane fallback keep the reference's serial per-bit walk. Timing of
+// each plane's sorting / significance-scan / refinement phases is recorded
+// into EncodeStats::passes for `bench_micro --speck_json`.
 //
 // tests/test_speck_fast.cpp holds this coder to bit-identical streams and
-// equal EncodeStats against encode_reference across shapes and modes.
+// equal EncodeStats against encode_reference across shapes, modes, and
+// 1/2/4/8 intra-chunk threads.
 
 #include "speck/encoder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/bitset.h"
 #include "common/bitstream.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
 #include "speck/settree.h"
 
 namespace sperr::speck {
 
 namespace {
 
+/// Buckets below this size are swept serially even in parallel mode: the
+/// fork-join dispatch would cost more than the sweep. The output is
+/// invariant to this threshold — lane merge order equals serial order — so
+/// it is a pure tuning knob.
+constexpr size_t kParallelSortGrain = size_t(1) << 12;
+
+/// Tombstone plane for a bucket entry whose set has descended. Strictly
+/// below every real cached plane (int path planes are in [-1, 50]), so a
+/// consumed entry can never test significant.
+constexpr int8_t kConsumed = -128;
+
 class FastEncoder {
  public:
-  FastEncoder(const double* coeffs, Dims dims, double q, size_t budget_bits)
+  FastEncoder(const double* coeffs, Dims dims, double q, size_t budget_bits,
+              int threads)
       : coeffs_(coeffs), dims_(dims), q_(q), budget_(budget_bits) {
     const size_t n = dims.total();
     // One linear scan: per-coefficient significance planes (consumed by the
     // tree fill below) and the squared-magnitude sum for estimated_rmse().
     // Same expressions in the same order as the reference, so the
-    // accumulated double is bit-identical.
+    // accumulated double is bit-identical. Stays serial: double addition is
+    // not associative and the estimate must match the reference exactly.
     coeff_planes_.resize(n);
     int16_t max_plane = kDeadPlane;
     for (size_t i = 0; i < n; ++i) {
@@ -69,6 +110,9 @@ class FastEncoder {
     // picks q = max*2^-50); beyond that, and in budgeted mode (which must
     // stop on an exact mid-pass bit), use the reference's residual walk.
     int_path_ = budget_ == 0 && n_max_ <= 50;
+    // The sweep engine (int path) is the only one with parallel lanes; the
+    // serial fallbacks are inherently order-dependent.
+    threads_ = int_path_ ? resolve_thread_count(threads) : 1;
   }
 
   [[nodiscard]] double estimated_rmse() const {
@@ -108,34 +152,42 @@ class FastEncoder {
 
   std::vector<uint8_t> run(EncodeStats* stats) {
     if (n_max_ >= 0) {
-      lis_.resize(max_depth(dims_) + 1);
-      lis_[0].push_back(0);  // root node id
-
-      for (int32_t n = n_max_; n >= 0 && !budget_hit_; --n) {
-        const double thrd = std::ldexp(1.0, n);
-        sorting_pass(n, thrd);
-        if (budget_hit_) break;
-        refinement_pass(n, thrd);
+      if (int_path_) {
+        buckets_.resize(max_depth(dims_) + 1);
+        buckets_[0].push(0, int8_t(tree_.plane(0)));
+        run_sweeps();
+      } else {
+        lis_.resize(max_depth(dims_) + 1);
+        lis_[0].push_back({0, tree_.plane(0)});  // root node
+        run_legacy();
       }
     }
 
     Header hdr;
     hdr.q = q_;
     hdr.n_max = n_max_;
-    hdr.nbits = bw_.bit_count();
+    const size_t nbits = int_path_ ? wbw_.bit_count() : bw_.bit_count();
+    hdr.nbits = nbits;
     if (stats) {
-      stats->payload_bits = bw_.bit_count();
+      stats->payload_bits = nbits;
       stats->planes_coded = planes_;
-      stats->significant_count = int_path_ ? lsp_idx_.size() + lnsp_idx_.size()
-                                          : lsp_.size() + lnsp_.size();
+      stats->significant_count =
+          int_path_ ? lsp_idx_.size() : lsp_.size() + lnsp_.size();
       stats->estimated_coeff_rmse = estimated_rmse();
+      stats->passes = std::move(pass_times_);
+      stats->threads_used = threads_;
     }
 
     std::vector<uint8_t> out;
-    out.reserve(Header::kBytes + bw_.byte_count());
+    out.reserve(Header::kBytes + (nbits + 7) / 8);
     hdr.serialize(out);
-    const auto payload = bw_.take();
-    out.insert(out.end(), payload.begin(), payload.end());
+    if (int_path_) {
+      const auto& payload = wbw_.finish();
+      out.insert(out.end(), payload.begin(), payload.end());
+    } else {
+      const auto payload = bw_.take();
+      out.insert(out.end(), payload.begin(), payload.end());
+    }
     return out;
   }
 
@@ -144,6 +196,27 @@ class FastEncoder {
     uint64_t idx;
     double residual;  ///< remaining magnitude to refine away
     double recon;     ///< decoder-equivalent reconstruction (scaled units)
+  };
+
+  /// One legacy-engine LIS entry (budgeted / >50-plane modes). The set's
+  /// max plane never changes, so it is cached at listing time.
+  struct LisEntry {
+    uint32_t id;
+    int32_t plane;  ///< == tree_.plane(id), cached at listing time
+  };
+
+  /// A sweep-engine worklist: entries append once and are tombstoned in
+  /// place when their set descends — never copied, unlike a re-listed LIS.
+  /// `planes` caches each set's max plane (int path planes fit int8), so a
+  /// sweep's significance tests read one contiguous byte per entry.
+  struct Bucket {
+    std::vector<uint32_t> ids;
+    std::vector<int8_t> planes;
+
+    void push(uint32_t id, int8_t plane) {
+      ids.push_back(id);
+      planes.push_back(plane);
+    }
   };
 
   /// Within-pass descent frame: a significant internal node whose children
@@ -155,39 +228,410 @@ class FastEncoder {
     bool any_sig;
   };
 
+  /// Sweep-engine descent frame: the node's children are scanned once at
+  /// frame creation into a significance mask and packed plane bytes
+  /// (branchless — see scan_children), so the walk emits sibling runs in
+  /// batches instead of testing one child per iteration.
+  struct SweepFrame {
+    uint32_t node;
+    uint8_t nc;
+    uint8_t next;     ///< child cursor
+    uint8_t mask;     ///< child significance bits at the current plane
+    bool any_sig;     ///< a significant child has been coded
+    uint64_t planes;  ///< eight packed int8 child planes (for spills)
+  };
+
+  /// One sweep lane's output channels. The serial sweep's lane points
+  /// straight at the master structures (zero merge cost); parallel lanes
+  /// point at private buffers that merge, in lane order, after each bucket.
+  struct Lane {
+    WordBitWriter* bw = nullptr;
+    std::vector<Bucket>* spill = nullptr;  ///< per-depth arrival dest
+    std::vector<uint32_t>* lsp_idx = nullptr;
+    std::vector<uint64_t>* lsp_v = nullptr;
+    std::vector<WordBitWriter>* ref = nullptr;  ///< per-plane refinement bits
+    std::vector<SweepFrame> frames;  ///< descent stack (always private)
+    WordBitWriter local_bw;
+    std::vector<Bucket> local_spill;
+    std::vector<uint32_t> local_lsp_idx;
+    std::vector<uint64_t> local_lsp_v;
+    std::vector<WordBitWriter> local_ref;
+    double significance_s = 0.0;  ///< this bucket's packed-scan time
+  };
+
   [[nodiscard]] double mag(uint64_t idx) const {
     return std::fabs(coeffs_[idx]) / q_;
   }
+
+  // --- sweep engine (unbudgeted, <= 50 planes) -----------------------------
+
+  void run_sweeps() {
+    // Refinement bits for plane n collect in ref_streams_[n] as coefficients
+    // are discovered (planes n_max_-1 .. 0 can receive bits).
+    ref_streams_.resize(size_t(n_max_) + 1);
+    serial_lane_.bw = &wbw_;
+    serial_lane_.spill = &buckets_;
+    serial_lane_.lsp_idx = &lsp_idx_;
+    serial_lane_.lsp_v = &lsp_v_;
+    serial_lane_.ref = &ref_streams_;
+    if (threads_ > 1) {
+      pool_ = std::make_unique<TaskPool>(threads_);
+      lanes_.resize(size_t(threads_));
+      for (Lane& ln : lanes_) {
+        ln.bw = &ln.local_bw;
+        ln.local_spill.resize(buckets_.size());
+        ln.spill = &ln.local_spill;
+        ln.lsp_idx = &ln.local_lsp_idx;
+        ln.lsp_v = &ln.local_lsp_v;
+        ln.local_ref.resize(ref_streams_.size());
+        ln.ref = &ln.local_ref;
+      }
+    }
+
+    for (int32_t n = n_max_; n >= 0; --n) {
+      const double thrd = std::ldexp(1.0, n);
+      PassTiming pt;
+      pt.plane = n;
+      Timer t;
+      const uint64_t b0 = wbw_.bit_count();
+      sweep_sorting_pass(n, thrd, pt);
+      pt.sorting_s = t.seconds();
+      pt.sorting_bits = wbw_.bit_count() - b0;
+      t.reset();
+      sweep_refinement_pass(n);
+      pt.refinement_s = t.seconds();
+      pt.refinement_bits = wbw_.bit_count() - b0 - pt.sorting_bits;
+      pass_times_.push_back(pt);
+    }
+  }
+
+  void sweep_sorting_pass(int32_t n, double thrd, PassTiming& pt) {
+    ++planes_;
+    // Deepest (smallest) sets first; children spawned by descents land in
+    // deeper buckets that were already swept, so every set is examined
+    // exactly once per plane — the reference's order.
+    for (size_t d = buckets_.size(); d-- > 0;) {
+      Bucket& bk = buckets_[d];
+      const size_t count = bk.ids.size();
+      if (count == 0) continue;
+      const size_t nwords = (count + 63) / 64;
+      sig_.resize_for_overwrite(count);
+      live_.resize_for_overwrite(count);
+
+      if (pool_ && count >= kParallelSortGrain) {
+        // Word-aligned contiguous lanes: each lane packs and sweeps its own
+        // slice (its run scans never read another lane's words or mark
+        // another lane's tombstones), then the outputs merge below in lane
+        // order == serial entry order.
+        const int L = threads_;
+        pool_->run([&](int lane) {
+          Lane& ln = lanes_[size_t(lane)];
+          const LaneRange wr = lane_range(nwords, L, lane);
+          const size_t b = wr.begin * 64;
+          const size_t e = std::min(wr.end * 64, count);
+          if (b >= e) return;
+          Timer lt;
+          fill_sig_words(bk, n, b, e);
+          ln.significance_s = lt.seconds();
+          sweep_range(d, n, thrd, b, e, ln);
+        });
+        for (Lane& ln : lanes_) {
+          pt.significance_s += ln.significance_s;  // folded in lane order
+          ln.significance_s = 0.0;
+          const auto& bits = ln.local_bw.finish();
+          wbw_.append_bits(bits.data(), ln.local_bw.bit_count());
+          ln.local_bw.clear();
+          for (size_t dd = 0; dd < buckets_.size(); ++dd) {
+            Bucket& src = ln.local_spill[dd];
+            buckets_[dd].ids.insert(buckets_[dd].ids.end(), src.ids.begin(),
+                                    src.ids.end());
+            buckets_[dd].planes.insert(buckets_[dd].planes.end(),
+                                       src.planes.begin(), src.planes.end());
+            src.ids.clear();
+            src.planes.clear();
+          }
+          lsp_idx_.insert(lsp_idx_.end(), ln.local_lsp_idx.begin(),
+                          ln.local_lsp_idx.end());
+          lsp_v_.insert(lsp_v_.end(), ln.local_lsp_v.begin(),
+                        ln.local_lsp_v.end());
+          ln.local_lsp_idx.clear();
+          ln.local_lsp_v.clear();
+          for (int32_t b = 0; b < n; ++b) {
+            WordBitWriter& src = ln.local_ref[size_t(b)];
+            if (src.bit_count()) {
+              ref_streams_[size_t(b)].append_bits(src.finish().data(),
+                                                  src.bit_count());
+              src.clear();
+            }
+          }
+        }
+      } else {
+        Timer t;
+        fill_sig_words(bk, n, 0, count);
+        pt.significance_s += t.seconds();
+        sweep_range(d, n, thrd, 0, count, serial_lane_);
+      }
+    }
+  }
+
+  /// Pack significance (`plane >= n`) and liveness (`plane != kConsumed`)
+  /// of bucket entries [b, e) into sig_'s / live_'s words — one linear pass
+  /// over the cached plane bytes. `b` is a multiple of 64; every covered
+  /// word is written in full, so no prior clearing is needed
+  /// (resize_for_overwrite above).
+  void fill_sig_words(const Bucket& bk, int32_t n, size_t b, size_t e) {
+    uint64_t* sw = sig_.word_data();
+    uint64_t* lw = live_.word_data();
+    const int8_t* p = bk.planes.data();
+    size_t i = b;
+    for (size_t w = b >> 6; i < e; ++w) {
+      uint64_t sig = 0, live = 0;
+#if defined(__SSE2__)
+      if (e - i >= 64) {
+        // Four 16-byte compares per word: signed byte cmpgt gives the
+        // significance mask (plane >= n <=> plane > n-1; n-1 fits int8 for
+        // n in [0, 50]), cmpeq against the tombstone gives ~liveness.
+        const __m128i thr = _mm_set1_epi8(int8_t(n - 1));
+        const __m128i dead = _mm_set1_epi8(kConsumed);
+        for (unsigned g = 0; g < 4; ++g) {
+          const __m128i bytes =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i + 16 * g));
+          const auto s = unsigned(_mm_movemask_epi8(_mm_cmpgt_epi8(bytes, thr)));
+          const auto c = unsigned(_mm_movemask_epi8(_mm_cmpeq_epi8(bytes, dead)));
+          sig |= uint64_t(s) << (16 * g);
+          live |= uint64_t(~c & 0xffffu) << (16 * g);
+        }
+        i += 64;
+        sw[w] = sig;
+        lw[w] = live;
+        continue;
+      }
+#endif
+      const size_t lim = std::min(e, i + 64);
+      for (unsigned k = 0; i < lim; ++i, ++k) {
+        const int8_t pl = p[i];
+        sig |= uint64_t(pl >= n) << k;
+        live |= uint64_t(pl != kConsumed) << k;
+      }
+      sw[w] = sig;
+      lw[w] = live;
+    }
+  }
+
+  /// Sweep entries [b, e) of bucket `d`: runs of live insignificant sets
+  /// are counted by popcount and emitted as one batched zero run (the sets
+  /// themselves stay listed in place — no copy); significant sets emit
+  /// their 1-bit, descend, and are tombstoned. `b` is a multiple of 64.
+  void sweep_range(size_t d, int32_t n, double thrd, size_t b, size_t e,
+                   Lane& lane) {
+    Bucket& bk = buckets_[d];
+    const uint64_t* sigw = sig_.word_data();
+    const uint64_t* livew = live_.word_data();
+    size_t zeros = 0;
+    for (size_t w = b >> 6; w * 64 < e; ++w) {
+      const size_t base = w * 64;
+      uint64_t window = ~uint64_t(0);
+      if (e - base < 64) window = (uint64_t(1) << (e - base)) - 1;
+      uint64_t sig = sigw[w] & window;
+      uint64_t live = livew[w] & window;
+      while (sig != 0) {
+        const unsigned k = unsigned(std::countr_zero(sig));
+        const uint64_t below = (uint64_t(1) << k) - 1;
+        zeros += size_t(std::popcount(live & below));
+        live &= ~below & ~(uint64_t(1) << k);
+        sig &= sig - 1;
+        if (zeros) {
+          lane.bw->put_zeros(zeros);
+          zeros = 0;
+        }
+        lane.bw->put_bits(1, 1);
+        const size_t idx = base + k;
+        sweep_descend(bk.ids[idx], uint32_t(d), n, thrd, lane);
+        bk.planes[idx] = kConsumed;
+      }
+      zeros += size_t(std::popcount(live));
+    }
+    if (zeros) lane.bw->put_zeros(zeros);
+  }
+
+  /// One branchless pass over a node's children: pack their max planes into
+  /// byte lanes of a uint64 (int path planes fit int8) and their
+  /// significance tests at plane n into a mask. Replaces the per-child
+  /// lazy plane load + compare with eight predictable iterations.
+  [[nodiscard]] std::pair<uint64_t, uint32_t> scan_children(uint32_t node,
+                                                            int32_t n) const {
+    const uint32_t first = tree_.first_child(node);
+    const uint32_t nc = tree_.child_count(node);
+    uint64_t planes = 0;
+    uint32_t mask = 0;
+    for (uint32_t i = 0; i < nc; ++i) {
+      const int16_t p = tree_.plane(first + i);
+      planes |= uint64_t(uint8_t(int8_t(p))) << (8 * i);
+      mask |= uint32_t(p >= n) << i;
+    }
+    return {planes, mask};
+  }
+
+  [[nodiscard]] SweepFrame make_frame(uint32_t node, int32_t n) const {
+    const auto [planes, mask] = scan_children(node, n);
+    return {node, uint8_t(tree_.child_count(node)), 0, uint8_t(mask), false,
+            planes};
+  }
+
+  /// The reference's recursive descent of a significant set, iteratively,
+  /// in identical DFS order with the identical deducible-significance rule —
+  /// but emitting sibling bits in batches. The child significance mask is
+  /// known at frame creation, so a run of insignificant siblings and the
+  /// following significant child's 1-bit collapse into one put_bits (or
+  /// put_zeros) call, and the per-child branches on the bit value disappear.
+  /// Spilled-set order and the emitted bit sequence are unchanged: bits and
+  /// bucket arrivals are separate channels, and each stays in child order.
+  void sweep_descend(uint32_t id, uint32_t depth, int32_t n, double thrd,
+                     Lane& lane) {
+    if (tree_.is_leaf(id)) {
+      sweep_found_significant(tree_.coeff_index(id), n, thrd, lane);
+      return;
+    }
+    auto& frames = lane.frames;
+    frames.clear();
+    frames.push_back(make_frame(id, n));
+    while (!frames.empty()) {
+      SweepFrame& f = frames.back();
+      const uint32_t first = tree_.first_child(f.node);
+      const uint32_t rem = uint32_t(f.mask) >> f.next;
+      if (rem == 0) {
+        // Every remaining child is insignificant: one batched zero run,
+        // spill them all, pop. (Cannot be reached with any_sig still false:
+        // a significant parent has at least one significant child.)
+        const uint32_t cnt = uint32_t(f.nc) - f.next;
+        if (cnt) {
+          lane.bw->put_zeros(cnt);
+          // Child depth = entry depth + descent depth (frames holds the
+          // child's ancestors up to and including its parent).
+          Bucket& dest = (*lane.spill)[depth + frames.size()];
+          for (uint32_t i = f.next; i < f.nc; ++i)
+            dest.push(first + i, int8_t(f.planes >> (8 * i)));
+        }
+        frames.pop_back();
+        continue;
+      }
+      const uint32_t j = f.next + uint32_t(std::countr_zero(rem));
+      const uint32_t gap = j - f.next;  // insignificant siblings before j
+      if (gap) {
+        Bucket& dest = (*lane.spill)[depth + frames.size()];
+        for (uint32_t i = f.next; i < j; ++i)
+          dest.push(first + i, int8_t(f.planes >> (8 * i)));
+      }
+      if (j == uint32_t(f.nc) - 1 && !f.any_sig) {
+        // Last child of a parent with no significant sibling must itself be
+        // significant: no bit (encoder and decoder both deduce it).
+        if (gap) lane.bw->put_zeros(gap);
+      } else {
+        lane.bw->put_bits(uint64_t(1) << gap, gap + 1);
+      }
+      f.any_sig = true;
+      f.next = uint8_t(j + 1);
+      const uint32_t child = first + j;
+      if (tree_.is_leaf(child)) {
+        sweep_found_significant(tree_.coeff_index(child), n, thrd, lane);
+        continue;
+      }
+      frames.push_back(make_frame(child, n));
+    }
+  }
+
+  /// A coefficient turning significant at plane n has magnitude
+  /// m in (2^n, 2^(n+1)], and the reference's refinement chain walks
+  /// r = m - 2^n down the planes emitting `r > 2^b` and subtracting on 1.
+  /// Every subtraction is exact (Sterbenz), so the emitted bits at planes
+  /// n-1..0 are exactly the binary digits of ceil(r0) - 1 with r0 = m - 2^n:
+  /// for r0 = I + f (integer I, fraction f > 0) strict > reads digit b of I;
+  /// for integral r0 = I the strict inequality shifts everything to I - 1.
+  /// That integer is captured once here, and its bits are transposed into
+  /// the per-plane refinement streams immediately — refinement passes never
+  /// revisit the coefficient.
+  void sweep_found_significant(uint32_t idx, int32_t n, double thrd,
+                               Lane& lane) {
+    const double c = coeffs_[idx];
+    lane.bw->put_bits(uint64_t(std::signbit(c)), 1);
+    uint64_t v = 0;
+    if (n > 0) {  // at plane 0, m in (1, 2] forces v = 0 and no future bits
+      const double r0 = std::fabs(c) / q_ - thrd;  // exact: m in (thrd, 2*thrd]
+      // ceil(r0) - 1 without libm: r0 > 0, so trunc == floor, and ceil
+      // differs from floor + 1 exactly when r0 is integral.
+      const uint64_t t = uint64_t(r0);
+      v = double(t) == r0 ? t - 1 : t;
+      auto& refs = *lane.ref;
+      for (int32_t b = n - 1; b >= 0; --b)
+        refs[size_t(b)].put_bits((v >> unsigned(b)) & uint64_t(1), 1);
+    }
+    lane.lsp_idx->push_back(idx);
+    lane.lsp_v->push_back(v);
+  }
+
+  /// Emit plane n's refinement bits: every entry discovered at a plane
+  /// above n already deposited its bit for plane n into ref_streams_[n]
+  /// (in LSP discovery order — lane merges preserve it), so the pass is one
+  /// word-batched append. Nothing else to do: lsp_idx_/lsp_v_ fill directly
+  /// at discovery, and an entry found at plane p never refines at plane p.
+  void sweep_refinement_pass(int32_t n) {
+    WordBitWriter& rb = ref_streams_[size_t(n)];
+    if (rb.bit_count()) {
+      wbw_.append_bits(rb.finish().data(), rb.bit_count());
+      rb.clear();
+    }
+  }
+
+  // --- legacy engine (budgeted mode and > 50 planes) ------------------------
 
   void put(bool bit) {
     bw_.put(bit);
     if (budget_ && bw_.bit_count() >= budget_) budget_hit_ = true;
   }
 
+  void run_legacy() {
+    for (int32_t n = n_max_; n >= 0 && !budget_hit_; --n) {
+      const double thrd = std::ldexp(1.0, n);
+      PassTiming pt;
+      pt.plane = n;
+      Timer t;
+      const uint64_t b0 = bw_.bit_count();
+      sorting_pass(n, thrd);
+      pt.sorting_s = t.seconds();
+      pt.sorting_bits = bw_.bit_count() - b0;
+      if (!budget_hit_) {
+        t.reset();
+        const uint64_t b1 = bw_.bit_count();
+        refinement_pass(thrd);
+        pt.refinement_s = t.seconds();
+        pt.refinement_bits = bw_.bit_count() - b1;
+      }
+      pass_times_.push_back(pt);
+    }
+  }
+
   void sorting_pass(int32_t n, double thrd) {
     ++planes_;
-    // Deepest (smallest) sets first; children spawned by descents land in
-    // deeper buckets that were already swept, so every set is examined
-    // exactly once per plane — the reference's order.
     for (size_t d = lis_.size(); d-- > 0;) {
       pending_.clear();
       pending_.swap(lis_[d]);
-      for (uint32_t id : pending_) {
-        process_entry(id, uint32_t(d), n, thrd);
+      for (const LisEntry& e : pending_) {
+        process_entry(e, uint32_t(d), n, thrd);
         if (budget_hit_) return;
       }
     }
   }
 
   /// Examine one LIS entry: emit its significance bit, then — when
-  /// significant — run the reference's recursive descent iteratively, in
-  /// identical DFS order with the identical deducible-significance rule.
-  void process_entry(uint32_t id, uint32_t depth, int32_t n, double thrd) {
-    const bool sig = tree_.plane(id) >= n;
+  /// significant — run the reference's recursive descent iteratively, with
+  /// the budget checked on every emitted bit.
+  void process_entry(LisEntry ent, uint32_t depth, int32_t n, double thrd) {
+    const uint32_t id = ent.id;
+    const bool sig = ent.plane >= n;
     put(sig);
     if (budget_hit_) return;
     if (!sig) {
-      lis_[depth].push_back(id);
+      lis_[depth].push_back(ent);
       return;
     }
     if (tree_.is_leaf(id)) {
@@ -205,20 +649,18 @@ class FastEncoder {
       }
       const uint32_t child = tree_.first_child(f.node) + f.next;
       const bool last = ++f.next == nc;
-      // Last child of a parent with no significant sibling must itself be
-      // significant: no bit (encoder and decoder both deduce it).
       const bool deducible = last && !f.any_sig;
       bool csig = true;
+      int32_t cplane = 0;
       if (!deducible) {
-        csig = tree_.plane(child) >= n;
+        cplane = tree_.plane(child);
+        csig = cplane >= n;
         put(csig);
         if (budget_hit_) return;
       }
       f.any_sig |= csig;
       if (!csig) {
-        // Child depth = entry depth + descent depth (frames_ holds its
-        // ancestors up to and including its parent).
-        lis_[depth + frames_.size()].push_back(child);
+        lis_[depth + frames_.size()].push_back({child, cplane});
         continue;
       }
       if (tree_.is_leaf(child)) {
@@ -230,24 +672,10 @@ class FastEncoder {
     }
   }
 
-  /// A coefficient turning significant at plane p has magnitude
-  /// m in (2^p, 2^(p+1)], and the reference's refinement chain walks
-  /// r = m - 2^p down the planes emitting `r > 2^n` and subtracting on 1.
-  /// Every subtraction is exact (Sterbenz), so the emitted bits at planes
-  /// p-1..0 are exactly the binary digits of ceil(r0) - 1 with r0 = m - 2^p:
-  /// for r0 = I + f (integer I, fraction f > 0) strict > reads digit n of I;
-  /// for integral r0 = I the strict inequality shifts everything to I - 1.
-  /// That integer is captured once here; refinement passes just index it.
   void found_significant(uint64_t idx, double thrd) {
     put(std::signbit(coeffs_[idx]));
     if (budget_hit_) return;  // sign bit emitted, entry dropped — as reference
-    if (int_path_) {
-      const double r0 = mag(idx) - thrd;  // exact: m in (thrd, 2*thrd]
-      lnsp_idx_.push_back(uint32_t(idx));
-      lnsp_v_.push_back(uint64_t(std::ceil(r0)) - 1);
-    } else {
-      lnsp_.push_back({idx, mag(idx), 1.5 * thrd});
-    }
+    lnsp_.push_back({idx, mag(idx), 1.5 * thrd});
   }
 
   /// Closed form of the reference's recon accumulation for a fully refined
@@ -258,28 +686,7 @@ class FastEncoder {
     return double((uint64_t(1) << p) + v) + 0.5;
   }
 
-  void refinement_pass(int32_t n, double thrd) {
-    if (int_path_) {
-      // Read-only scan: bit n of each entry's precomputed sequence, batched
-      // into words. No per-entry state mutates until the final closed-form
-      // reconstruction.
-      uint64_t word = 0;
-      unsigned fill = 0;
-      for (const uint64_t v : lsp_v_) {
-        word |= ((v >> n) & 1u) << fill;
-        if (++fill == 64) {
-          bw_.put_word(word);
-          word = 0;
-          fill = 0;
-        }
-      }
-      if (fill) bw_.put_bits(word, fill);
-      lsp_idx_.insert(lsp_idx_.end(), lnsp_idx_.begin(), lnsp_idx_.end());
-      lsp_v_.insert(lsp_v_.end(), lnsp_v_.begin(), lnsp_v_.end());
-      lnsp_idx_.clear();
-      lnsp_v_.clear();
-      return;
-    }
+  void refinement_pass(double thrd) {
     if (budget_ == 0) {
       // >50-plane fallback: the reference's residual walk with batched
       // emission through the word-at-a-time path.
@@ -323,20 +730,30 @@ class FastEncoder {
   double mag_sq_sum_ = 0.0;
   int32_t n_max_ = -1;
   size_t planes_ = 0;
+  std::vector<PassTiming> pass_times_;
 
   SetTree tree_;
-  std::vector<std::vector<uint32_t>> lis_;  ///< packed node ids, bucketed by depth
-  std::vector<uint32_t> pending_;           ///< per-bucket scratch (capacity reused)
-  std::vector<Frame> frames_;               ///< iterative descent stack
 
   bool int_path_ = false;  ///< packed-integer refinement (see constructor)
+  int threads_ = 1;
+  std::unique_ptr<TaskPool> pool_;  ///< non-null only when threads_ > 1
+  Lane serial_lane_;
+  std::vector<Lane> lanes_;
+  std::vector<Bucket> buckets_;  ///< sweep worklists, bucketed by depth
+  PackedBits sig_;   ///< per-bucket packed significance bits (scratch)
+  PackedBits live_;  ///< per-bucket packed liveness bits (scratch)
+  std::vector<WordBitWriter> ref_streams_;  ///< per-plane refinement bits
+
+  std::vector<std::vector<LisEntry>> lis_;  ///< legacy worklists by depth
+  std::vector<LisEntry> pending_;           ///< legacy per-bucket scratch
+  std::vector<Frame> frames_;               ///< legacy engine's descent stack
+
   std::vector<uint32_t> lsp_idx_;  ///< int path: coefficient indices, LSP order
   std::vector<uint64_t> lsp_v_;    ///< int path: packed refinement bit sequences
-  std::vector<uint32_t> lnsp_idx_;
-  std::vector<uint64_t> lnsp_v_;
   std::vector<SigEntry> lsp_;  ///< fallback paths: residual-walk entries
   std::vector<SigEntry> lnsp_;
-  BitWriter bw_;
+  WordBitWriter wbw_;  ///< sweep engine's master stream
+  BitWriter bw_;       ///< legacy engine's stream
 };
 
 }  // namespace
@@ -346,12 +763,13 @@ std::vector<uint8_t> encode(const double* coeffs,
                             double q,
                             size_t budget_bits,
                             EncodeStats* stats,
-                            std::vector<double>* recon_out) {
+                            std::vector<double>* recon_out,
+                            int threads) {
   // Node ids in the flattened tree are uint32; beyond this (far above any
   // real chunk) fall back to the reference coder.
   if (dims.total() >= (size_t(1) << 31))
     return encode_reference(coeffs, dims, q, budget_bits, stats, recon_out);
-  FastEncoder enc(coeffs, dims, q, budget_bits);
+  FastEncoder enc(coeffs, dims, q, budget_bits, threads);
   auto stream = enc.run(stats);
   if (recon_out) enc.export_recon(*recon_out);
   return stream;

@@ -18,6 +18,18 @@
 
 namespace sperr::speck {
 
+/// Cost breakdown of one bitplane, filled by the production encoder. The
+/// bit counts are properties of the stream (deterministic, compared in
+/// tests); the seconds are wall-clock measurements of this plane's passes.
+struct PassTiming {
+  int32_t plane = 0;           ///< bitplane n (threshold 2^n)
+  double sorting_s = 0.0;      ///< whole sorting pass (includes significance_s)
+  double significance_s = 0.0; ///< packed max-plane scans within the sorting pass
+  double refinement_s = 0.0;   ///< refinement pass
+  uint64_t sorting_bits = 0;   ///< payload bits emitted by the sorting pass
+  uint64_t refinement_bits = 0;///< payload bits emitted by the refinement pass
+};
+
 struct EncodeStats {
   size_t payload_bits = 0;     ///< bits in the SPECK payload (excl. header)
   size_t planes_coded = 0;     ///< bitplanes fully or partially emitted
@@ -28,6 +40,14 @@ struct EncodeStats {
   /// and ~unit-norm, this estimates the *reconstruction* RMSE without any
   /// inverse transform (paper §III-A and the §VII average-error extension).
   double estimated_coeff_rmse = 0.0;
+
+  /// Per-bitplane pass costs, top plane first (production encoder only; the
+  /// reference coder leaves this empty). Feeds `bench_micro --speck_json`.
+  std::vector<PassTiming> passes;
+
+  /// Intra-chunk threads the encoder actually used (after resolving 0=auto
+  /// and the serial fallbacks for budgeted / >50-plane modes).
+  int threads_used = 1;
 };
 
 /// Encode `coeffs` (dims.total() values) with finest step q (> 0).
@@ -40,12 +60,20 @@ struct EncodeStats {
 /// alongside the emitted bits, so the SPERR pipeline can locate outliers
 /// without decoding its own stream (paper §V-C stage 3 is just an inverse
 /// transform plus a comparison). Only exact in unbudgeted mode.
+///
+/// `threads` enables deterministic intra-chunk parallelism: each bitplane's
+/// worklists are partitioned into fixed contiguous lanes whose outputs merge
+/// in lane order, so the stream is byte-identical at every thread count
+/// (including to the serial engine and to encode_reference). 0 = one lane
+/// per hardware thread; budgeted mode (which must stop on an exact mid-pass
+/// bit) always runs serial.
 std::vector<uint8_t> encode(const double* coeffs,
                             Dims dims,
                             double q,
                             size_t budget_bits = 0,
                             EncodeStats* stats = nullptr,
-                            std::vector<double>* recon_out = nullptr);
+                            std::vector<double>* recon_out = nullptr,
+                            int threads = 1);
 
 /// The original recursive, lazily-evaluated coder (reference.cpp), kept as
 /// the bit-exactness oracle for the flattened production encoder — same

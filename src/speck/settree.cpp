@@ -5,17 +5,13 @@
 namespace sperr::speck {
 
 void SetTree::build(Dims dims) {
-  first_.clear();
-  nchild_.clear();
-  plane_.clear();
+  nodes_.clear();
 
   const size_t n = dims.total();
   // Leaves = n; internal nodes are ~n/7 for octree bulk, up to n-1 in the
   // all-binary-splits worst case (thin 1-D grids). Reserve for the typical
   // shape and let the vector grow for pathological ones.
-  const size_t guess = n + n / 4 + 16;
-  first_.reserve(guess);
-  nchild_.reserve(guess);
+  nodes_.reserve(n + n / 4 + 16);
 
   struct Frame {
     Box box;
@@ -28,44 +24,55 @@ void SetTree::build(Dims dims) {
   root.nx = uint32_t(dims.x);
   root.ny = uint32_t(dims.y);
   root.nz = uint32_t(dims.z);
-  first_.push_back(0);
-  nchild_.push_back(0);
+  nodes_.push_back({0, 0, 0});
+  if (root.is_single()) {
+    nodes_[0] = {uint32_t(dims.index(root.x, root.y, root.z)), 0, 0};
+    return;
+  }
   stack.push_back({root, 0});
 
+  // Leaf children are finalized inline at parent expansion — only internal
+  // children round-trip through the stack. Leaves are the bulk of the tree
+  // (7/8 of an octree), so this cuts stack traffic ~8x; and since each
+  // child's record is push_back'd individually, there is no bulk
+  // resize/zero-fill of records that are about to be overwritten anyway.
   while (!stack.empty()) {
     const Frame f = stack.back();
     stack.pop_back();
-    if (f.box.is_single()) {
-      first_[f.id] = uint32_t(dims.index(f.box.x, f.box.y, f.box.z));
-      nchild_[f.id] = 0;
-      continue;
-    }
     Box children[8];
     const int nc = split_box(f.box, children);
-    const uint32_t base = uint32_t(first_.size());
-    first_[f.id] = base;
-    nchild_[f.id] = uint8_t(nc);
-    first_.resize(first_.size() + size_t(nc));
-    nchild_.resize(nchild_.size() + size_t(nc));
+    const uint32_t base = uint32_t(nodes_.size());
+    nodes_[f.id].first = base;
+    nodes_[f.id].nchild = uint16_t(nc);
+    for (int i = 0; i < nc; ++i) {
+      if (children[i].is_single())
+        nodes_.push_back(
+            {uint32_t(dims.index(children[i].x, children[i].y, children[i].z)),
+             0, 0});
+      else
+        nodes_.push_back({0, 0, 0});  // structure filled at its expansion
+    }
     // Reverse push so child 0 is expanded next: the whole of child 0's
     // subtree is allocated before child 1's, giving the DFS id layout.
-    for (int i = nc; i-- > 0;) stack.push_back({children[i], base + uint32_t(i)});
+    for (int i = nc; i-- > 0;)
+      if (!children[i].is_single()) stack.push_back({children[i], base + uint32_t(i)});
   }
 }
 
 void SetTree::fill_planes(const int16_t* coeff_planes) {
-  plane_.resize(node_count());
   // DFS allocation puts every child after its parent, so one reverse sweep
   // sees all children before their parent.
   for (size_t i = node_count(); i-- > 0;) {
-    if (nchild_[i] == 0) {
-      plane_[i] = coeff_planes[first_[i]];
+    Node& nd = nodes_[i];
+    if (nd.nchild == 0) {
+      nd.plane = coeff_planes[nd.first];
       continue;
     }
-    const uint32_t f = first_[i];
-    int16_t mx = plane_[f];
-    for (uint32_t c = 1; c < nchild_[i]; ++c) mx = std::max(mx, plane_[f + c]);
-    plane_[i] = mx;
+    const uint32_t f = nd.first;
+    int16_t mx = nodes_[f].plane;
+    for (uint32_t c = 1; c < nd.nchild; ++c)
+      mx = std::max(mx, nodes_[f + c].plane);
+    nd.plane = mx;
   }
 }
 

@@ -55,6 +55,10 @@ inline int16_t plane_of(double m) {
 /// The flattened set-partition tree. Node ids are uint32: callers must
 /// ensure dims.total() < 2^31 (the speck::encode/decode entry points fall
 /// back to the reference coder above that).
+///
+/// Storage is one interleaved 8-byte record per node: the sorting-pass
+/// descent reads a child's structure and max plane together, so each node
+/// visit touches one cache line instead of three parallel arrays.
 class SetTree {
  public:
   /// Build the structure for `dims`. Deterministic and data-independent.
@@ -64,18 +68,23 @@ class SetTree {
   /// (indexed by linear coefficient index). Requires build() first.
   void fill_planes(const int16_t* coeff_planes);
 
-  [[nodiscard]] size_t node_count() const { return nchild_.size(); }
-  [[nodiscard]] bool is_leaf(uint32_t id) const { return nchild_[id] == 0; }
-  [[nodiscard]] uint32_t first_child(uint32_t id) const { return first_[id]; }
-  [[nodiscard]] uint32_t child_count(uint32_t id) const { return nchild_[id]; }
+  [[nodiscard]] size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool is_leaf(uint32_t id) const { return nodes_[id].nchild == 0; }
+  [[nodiscard]] uint32_t first_child(uint32_t id) const { return nodes_[id].first; }
+  [[nodiscard]] uint32_t child_count(uint32_t id) const { return nodes_[id].nchild; }
   /// Linear coefficient index of a leaf node.
-  [[nodiscard]] uint32_t coeff_index(uint32_t id) const { return first_[id]; }
-  [[nodiscard]] int16_t plane(uint32_t id) const { return plane_[id]; }
+  [[nodiscard]] uint32_t coeff_index(uint32_t id) const { return nodes_[id].first; }
+  [[nodiscard]] int16_t plane(uint32_t id) const { return nodes_[id].plane; }
 
  private:
-  std::vector<uint32_t> first_;  ///< internal: first child id; leaf: coeff index
-  std::vector<uint8_t> nchild_;  ///< 0 for leaves, 2..8 otherwise
-  std::vector<int16_t> plane_;   ///< max significance plane over the set
+  struct Node {
+    uint32_t first;   ///< internal: first child id; leaf: coeff index
+    uint16_t nchild;  ///< 0 for leaves, 2..8 otherwise
+    int16_t plane;    ///< max significance plane over the set (fill_planes)
+  };
+  static_assert(sizeof(Node) == 8);
+
+  std::vector<Node> nodes_;
 };
 
 }  // namespace sperr::speck

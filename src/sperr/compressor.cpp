@@ -41,6 +41,14 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
   std::vector<pipeline::ChunkStream> streams(chunks.size());
   std::vector<double> means(chunks.size(), 0.0);
 
+  // Intra-chunk SPECK lanes (byte-identical output at any setting). An
+  // explicit count is honored as-is; auto (0) only expands on single-chunk
+  // inputs, where the OpenMP chunk loop cannot use the machine — combining
+  // auto with a parallel chunk loop would oversubscribe every core.
+  const int intra_threads =
+      cfg.intra_chunk_threads == 0 && chunks.size() > 1 ? 1
+                                                        : cfg.intra_chunk_threads;
+
 #ifdef SPERR_HAVE_OPENMP
   const int nt = cfg.num_threads > 0 ? cfg.num_threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic) num_threads(nt)
@@ -61,9 +69,10 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
     means[i] = sum / double(c.dims.total());
     if (cfg.mode == Mode::pwe) {
       streams[i] = pipeline::encode_pwe(buf, c.dims, cfg.tolerance, cfg.q_over_t,
-                                        nullptr, &arena);
+                                        nullptr, &arena, intra_threads);
     } else if (cfg.mode == Mode::target_rmse) {
-      streams[i] = pipeline::encode_target_rmse(buf, c.dims, cfg.rmse, &arena);
+      streams[i] = pipeline::encode_target_rmse(buf, c.dims, cfg.rmse, &arena,
+                                                intra_threads);
     } else {
       const auto budget = size_t(std::llround(cfg.bpp * double(c.dims.total())));
       streams[i] = pipeline::encode_fixed_rate(buf, c.dims,
@@ -116,6 +125,11 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
       stats->lossless_blocks = inner_bytes == 0 ? 0 : (inner_bytes - 1) / bs + 1;
       stats->timing.lossless_s = std::chrono::duration<double>(t1 - t0).count();
     }
+    // Serial reduction in chunk-index order — per-pass (and per-stage)
+    // timers are doubles, and summing them in OpenMP completion order would
+    // make these fields differ run-to-run on identical inputs (float
+    // addition is not associative). Keeping the fold here, ordered, makes
+    // Stats (and the --speck_json records built from it) reproducible.
     for (const auto& s : streams) {
       stats->speck_bytes += s.speck.size();
       stats->outlier_bytes += s.outlier.size();
@@ -123,6 +137,11 @@ std::vector<uint8_t> compress_impl(const double* data, Dims dims, const Config& 
       stats->speck_payload_bits += s.speck_stats.payload_bits;
       stats->speck_planes_coded += s.speck_stats.planes_coded;
       stats->speck_significant += s.speck_stats.significant_count;
+      for (const auto& p : s.speck_stats.passes) {
+        stats->speck_sorting_s += p.sorting_s;
+        stats->speck_significance_s += p.significance_s;
+        stats->speck_refinement_s += p.refinement_s;
+      }
       stats->timing += s.timing;
     }
     stats->bpp = double(out.size()) * 8.0 / double(dims.total());

@@ -48,6 +48,14 @@ struct Config {
   /// OpenMP threads for chunk-parallel execution; 0 = runtime default.
   int num_threads = 0;
 
+  /// Threads used *inside* each chunk's SPECK coder (deterministic lane
+  /// parallelism: the stream is byte-identical at every setting). 1 =
+  /// serial (default — chunk-level parallelism already saturates machines
+  /// on multi-chunk inputs), 0 = one lane per hardware thread. Raise it for
+  /// single-chunk (or few-chunk) requests, which otherwise leave cores
+  /// idle.
+  int intra_chunk_threads = 1;
+
   /// Apply the final lossless pass (paper §V uses ZSTD; we use the built-in
   /// LZ77+Huffman codec). Disable to inspect raw coder output.
   bool lossless_pass = true;
@@ -172,6 +180,16 @@ struct Stats {
   size_t speck_payload_bits = 0;
   size_t speck_planes_coded = 0;  ///< sum over chunks; divide by num_chunks for the mean
   size_t speck_significant = 0;
+
+  /// SPECK per-pass wall-clock totals, summed over chunks and bitplanes
+  /// (from speck::PassTiming). The reduction runs in chunk-index order in a
+  /// serial post-loop — never inside the OpenMP chunk loop — so the sums
+  /// are reproducible run-to-run for a fixed set of per-chunk timings
+  /// (floating-point addition is not associative; a worker-completion-order
+  /// sum would differ between runs even on identical inputs).
+  double speck_sorting_s = 0.0;
+  double speck_significance_s = 0.0;
+  double speck_refinement_s = 0.0;
   StageTiming timing;
 };
 

@@ -14,7 +14,7 @@ namespace sperr::pipeline {
 ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
                        double q_over_t,
                        std::vector<outlier::Outlier>* capture_outliers,
-                       Arena* arena) {
+                       Arena* arena, int intra_chunk_threads) {
   ChunkStream result;
   const size_t n = dims.total();
   const double q = q_over_t * tolerance;
@@ -34,7 +34,8 @@ ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
   // reconstruction so stage 3 need not decode the stream it just built.
   timer.reset();
   std::vector<double> recon;
-  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats, &recon);
+  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats, &recon,
+                               intra_chunk_threads);
   result.timing.speck_s = timer.seconds();
 
   // Stage 3: locate outliers — inverse transform plus a comparison with the
@@ -87,7 +88,7 @@ ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
 }
 
 ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target,
-                               Arena* arena) {
+                               Arena* arena, int intra_chunk_threads) {
   ChunkStream result;
   const size_t n = dims.total();
   Arena& a = arena ? *arena : tls_arena();
@@ -107,7 +108,8 @@ ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target
   const double q = rmse_target * std::sqrt(12.0) * 0.5;
 
   timer.reset();
-  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats);
+  result.speck = speck::encode(coeffs, dims, q, 0, &result.speck_stats, nullptr,
+                               intra_chunk_threads);
   result.timing.speck_s = timer.seconds();
   return result;
 }
@@ -148,10 +150,11 @@ Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
 
 Status decode(const uint8_t* speck_stream, size_t speck_len,
               const uint8_t* outlier_stream, size_t outlier_len, Dims dims,
-              double* out, Arena* arena) {
+              double* out, Arena* arena, int intra_chunk_threads) {
   Arena& a = arena ? *arena : tls_arena();
   Arena::Scope scope(a);
-  const Status s = speck::decode(speck_stream, speck_len, dims, out);
+  const Status s =
+      speck::decode(speck_stream, speck_len, dims, out, nullptr, intra_chunk_threads);
   if (s != Status::ok) return s;
   wavelet::inverse_dwt(out, dims, wavelet::Kernel::cdf97, &a);
 

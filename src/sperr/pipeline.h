@@ -40,14 +40,20 @@ struct ChunkStream {
 /// chunk iterations allocate nothing; standalone callers may pass nullptr
 /// (the calling thread's arena is used). The arena is rewound, not reset:
 /// allocations the caller made before the call survive.
+///
+/// `intra_chunk_threads` is forwarded to the SPECK coder's deterministic
+/// lane-parallel mode (Config::intra_chunk_threads): the emitted streams
+/// are byte-identical at every setting, so it is purely a wall-clock knob
+/// for single-chunk (or few-chunk) requests. 1 = serial, 0 = auto.
 ChunkStream encode_pwe(const double* data, Dims dims, double tolerance,
                        double q_over_t,
                        std::vector<outlier::Outlier>* capture_outliers = nullptr,
-                       Arena* arena = nullptr);
+                       Arena* arena = nullptr, int intra_chunk_threads = 1);
 
 /// Size-bounded encode: the SPECK stream is truncated at `budget_bits`.
 /// No outlier correction (no error bound), matching classic SPECK / the
-/// paper's fixed-size mode.
+/// paper's fixed-size mode. (The budgeted coder must stop on the exact
+/// budget bit and is inherently serial, so it takes no thread knob.)
 ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
                               Arena* arena = nullptr);
 
@@ -55,7 +61,7 @@ ChunkStream encode_fixed_rate(const double* data, Dims dims, size_t budget_bits,
 /// from the RMSE target via the unit-norm wavelet's error equivalence; all
 /// bitplanes down to that step are coded, no outlier pass.
 ChunkStream encode_target_rmse(const double* data, Dims dims, double rmse_target,
-                               Arena* arena = nullptr);
+                               Arena* arena = nullptr, int intra_chunk_threads = 1);
 
 /// Multi-level decode (paper §VII): reconstruct the chunk at a coarsened
 /// resolution by stopping the inverse wavelet recursion `drop_levels` early
@@ -75,7 +81,7 @@ Status decode_lowres(const std::vector<uint8_t>& speck_stream, Dims dims,
 /// the duration of the call.
 Status decode(const uint8_t* speck_stream, size_t speck_len,
               const uint8_t* outlier_stream, size_t outlier_len, Dims dims,
-              double* out, Arena* arena = nullptr);
+              double* out, Arena* arena = nullptr, int intra_chunk_threads = 1);
 
 /// Convenience overload over owned streams.
 Status decode(const std::vector<uint8_t>& speck_stream,

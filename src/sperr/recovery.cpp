@@ -132,7 +132,7 @@ ChunkReport audit_chunk(const OpenedContainer& oc, size_t i) {
 }
 
 ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
-                         double* buf, Arena* arena) {
+                         double* buf, Arena* arena, int intra_threads) {
   Timer timer;
   ChunkReport r = audit_chunk(oc, i);
   const ChunkEntry& e = oc.hdr.entries[i];
@@ -146,7 +146,7 @@ ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
     // An intact slice has avail == advertised; decode from the clamped avail
     // extents regardless so no directory value can size a read.
     const Status cs = pipeline::decode(sp, sl.speck_avail, op, sl.outlier_avail,
-                                       cdims, buf, arena);
+                                       cdims, buf, arena, intra_threads);
     if (cs != Status::ok) r.status = cs;  // possible on v1/v2 (no checksums)
   }
 
@@ -168,8 +168,8 @@ ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
         std::fill(buf, buf + n, 0.0);
         bool coarse_ok = false;
         if (sl.speck_avail > 0 &&
-            pipeline::decode(sp, sl.speck_avail, nullptr, 0, cdims, buf, arena) ==
-                Status::ok) {
+            pipeline::decode(sp, sl.speck_avail, nullptr, 0, cdims, buf, arena,
+                             intra_threads) == Status::ok) {
           coarse_ok = true;
           for (size_t k = 0; k < n; ++k)
             if (!std::isfinite(buf[k])) {
@@ -216,6 +216,12 @@ Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy
   out.assign(dims.total(), 0.0);
   rep.chunks.resize(oc.chunks.size());
 
+  // Single-chunk containers cannot use the chunk-parallel loop below, so
+  // let the SPECK decoder's intra-chunk lanes (0 = auto) use the machine
+  // instead. The decode is identical at every lane count, so this is a
+  // pure wall-clock decision.
+  const int intra_threads = oc.chunks.size() == 1 ? 0 : 1;
+
 #ifdef SPERR_HAVE_OPENMP
 #pragma omp parallel for schedule(dynamic)
 #endif
@@ -224,7 +230,7 @@ Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy
     arena.reset();
     double* buf = arena.alloc<double>(oc.chunks[i].dims.total());
     std::fill(buf, buf + oc.chunks[i].dims.total(), 0.0);
-    rep.chunks[i] = detail::decode_chunk(oc, i, policy, buf, &arena);
+    rep.chunks[i] = detail::decode_chunk(oc, i, policy, buf, &arena, intra_threads);
     scatter_chunk(buf, oc.chunks[i], out.data(), dims);
   }
 

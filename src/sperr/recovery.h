@@ -47,9 +47,12 @@ Status open_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
 /// Verify + decode chunk `i` of `oc` into `buf` (chunks[i].dims.total()
 /// doubles, caller-zeroed), honoring `policy` for damaged chunks. Pure
 /// function of the container bytes — safe to call concurrently for distinct
-/// chunks. Returns the chunk's report entry.
+/// chunks. Returns the chunk's report entry. `intra_threads` feeds the
+/// SPECK decoder's lane-parallel mode (output identical at every setting;
+/// 1 = serial, 0 = auto) — raise it only when chunks are not already
+/// decoding concurrently.
 ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
-                         double* buf, Arena* arena);
+                         double* buf, Arena* arena, int intra_threads = 1);
 
 /// Checksum/extent audit of chunk `i` without decoding (verify_container).
 ChunkReport audit_chunk(const OpenedContainer& oc, size_t i);

@@ -443,6 +443,107 @@ TEST(Robustness, SpeckPayloadBitFlipsSurviveBothDecoders) {
   }
 }
 
+TEST(Robustness, SpeckSortingWordBitFlipsSurviveThreadSweep) {
+  // The sweep engine consumes sorting-pass bits through 64-wide packed
+  // significance words; flips landing inside those words are the corruption
+  // most likely to desynchronize the batched kernels differently at
+  // different lane counts. Aim every flip at a sorting-pass bit span
+  // (located from EncodeStats::passes — each plane's payload is its sorting
+  // bits followed by its refinement bits) and hold the decoder to the full
+  // thread wall: at 1/2/4/8 intra-chunk threads AND in the reference
+  // decoder, verdicts and reconstructions must stay identical.
+  const Dims dims{26, 19, 14};
+  auto coeffs = data::miranda_density(dims);
+  wavelet::forward_dwt(coeffs.data(), dims);
+  double max_mag = 0.0;
+  for (const double c : coeffs) max_mag = std::max(max_mag, std::fabs(c));
+  speck::EncodeStats stats;
+  const auto stream =
+      speck::encode(coeffs.data(), dims, std::ldexp(max_mag, -12), 0, &stats);
+  ASSERT_FALSE(stats.passes.empty());
+
+  std::vector<std::pair<uint64_t, uint64_t>> sort_spans;
+  uint64_t cursor = 0;
+  for (const auto& pass : stats.passes) {
+    if (pass.sorting_bits > 0)
+      sort_spans.push_back({cursor, cursor + pass.sorting_bits});
+    cursor += pass.sorting_bits + pass.refinement_bits;
+  }
+  ASSERT_FALSE(sort_spans.empty());
+
+  const int threads[] = {1, 2, 4, 8};
+  auto decode_wall = [&](const std::vector<uint8_t>& bytes) {
+    std::vector<double> ref_out(dims.total());
+    const Status sr =
+        speck::decode_reference(bytes.data(), bytes.size(), dims, ref_out.data());
+    expect_sane_field(sr, ref_out, dims);
+    for (const int t : threads) {
+      std::vector<double> out(dims.total());
+      const Status st =
+          speck::decode(bytes.data(), bytes.size(), dims, out.data(), nullptr, t);
+      ASSERT_EQ(st, sr) << "verdict diverges at threads=" << t;
+      if (st == Status::ok) {
+        for (size_t i = 0; i < out.size(); ++i)
+          ASSERT_EQ(out[i], ref_out[i])
+              << "threads=" << t << " coefficient " << i;
+      }
+    }
+  };
+
+  Rng rng(1011);
+  for (int i = 0; i < 120; ++i) {
+    auto bad = stream;
+    const int flips = 1 + int(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto& span = sort_spans[rng.below(sort_spans.size())];
+      const uint64_t bit = span.first + rng.below(span.second - span.first);
+      bad[speck::Header::kBytes + size_t(bit / 8)] ^= uint8_t(1u << (bit % 8));
+    }
+    decode_wall(bad);
+  }
+}
+
+TEST(Robustness, TolerantDecodeSurvivesSpeckSweepCorruption) {
+  // The same corruption one level up: a chunked archive whose SPECK chunk
+  // payloads are damaged. The strict decoder may cleanly reject (per-chunk
+  // checksums catch the flip); the tolerant decoder with a fill policy must
+  // always come back with a usable full-size finite field, and must agree
+  // with the strict decoder whenever the strict decoder accepts.
+  const Dims dims{24, 24, 12};
+  const auto field = data::miranda_density(dims);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 14);
+  cfg.lossless_pass = false;
+  const auto blob = compress(field.data(), dims, cfg);
+
+  const size_t payload_begin = std::min<size_t>(64, blob.size() / 2);
+  Rng rng(1012);
+  for (int i = 0; i < 80; ++i) {
+    auto bad = blob;
+    const int flips = 1 + int(rng.below(5));
+    for (int f = 0; f < flips; ++f) {
+      const size_t byte = payload_begin + rng.below(bad.size() - payload_begin);
+      bad[byte] ^= uint8_t(1u << rng.below(8));
+    }
+    std::vector<double> strict_out;
+    Dims sd;
+    const Status ss = decompress(bad.data(), bad.size(), strict_out, sd);
+    expect_sane_field(ss, strict_out, sd);
+
+    std::vector<double> tol_out;
+    Dims td;
+    const Status st =
+        decompress_tolerant(bad.data(), bad.size(), Recovery::coarse_fill, tol_out, td);
+    expect_sane_field(st, tol_out, td);
+    if (ss == Status::ok) {
+      ASSERT_EQ(st, Status::ok) << "tolerant rejects a stream strict accepts";
+      ASSERT_EQ(tol_out.size(), strict_out.size());
+      for (size_t k = 0; k < tol_out.size(); ++k)
+        ASSERT_EQ(tol_out[k], strict_out[k]) << "coefficient " << k;
+    }
+  }
+}
+
 TEST(Robustness, ContainerPayloadBitFlipsSurviveFuzz) {
   // Same idea one level up: flip bits strictly after the container header of
   // an unpacked (lossless_pass=false) archive, so corruption lands in chunk

@@ -60,7 +60,16 @@ void expect_decode_stats_equal(const DecodeStats& a, const DecodeStats& b) {
   EXPECT_EQ(a.truncated, b.truncated);
 }
 
-/// Full differential check of one (dims, q, budget, seed) cell.
+/// The thread counts every case in the differential wall is held to. 1 is
+/// the serial sweep engine; 2/4/8 exercise lane partitioning, including
+/// more lanes than this machine has cores (correctness must not depend on
+/// real concurrency).
+constexpr int kThreadWall[] = {1, 2, 4, 8};
+
+/// Full differential check of one (dims, q, budget, seed) cell, at every
+/// thread count in kThreadWall: the encoded stream must be byte-identical
+/// to the reference coder's (and so to every other thread count), per-pass
+/// bit counts must be thread-invariant, and decodes bit-identical.
 void expect_coders_identical(Dims dims, double q, size_t budget, uint64_t seed) {
   SCOPED_TRACE(dims.to_string() + " q=" + std::to_string(q) +
                " budget=" + std::to_string(budget) + " seed=" + std::to_string(seed));
@@ -77,18 +86,46 @@ void expect_coders_identical(Dims dims, double q, size_t budget, uint64_t seed) 
   for (size_t i = 0; i < ref_recon.size(); ++i)
     ASSERT_EQ(fast_recon[i], ref_recon[i]) << "recon coefficient " << i;
 
-  // Decode differential: full stream and a mid-stream truncation.
+  // Thread-sweep wall: parallel encodes must reproduce the reference stream
+  // byte for byte, with identical stats, recon exports, and per-pass bit
+  // counts (the wall-clock pass timings are the only fields allowed to
+  // differ).
+  for (const int t : kThreadWall) {
+    SCOPED_TRACE("encode threads=" + std::to_string(t));
+    EncodeStats ts;
+    std::vector<double> trecon;
+    const auto par = encode(coeffs.data(), dims, q, budget, &ts, &trecon, t);
+    ASSERT_EQ(par, ref) << "stream bytes diverge from reference";
+    expect_stats_equal(ts, ref_stats);
+    ASSERT_EQ(ts.passes.size(), fast_stats.passes.size());
+    for (size_t i = 0; i < ts.passes.size(); ++i) {
+      ASSERT_EQ(ts.passes[i].plane, fast_stats.passes[i].plane);
+      ASSERT_EQ(ts.passes[i].sorting_bits, fast_stats.passes[i].sorting_bits);
+      ASSERT_EQ(ts.passes[i].refinement_bits,
+                fast_stats.passes[i].refinement_bits);
+    }
+    ASSERT_EQ(trecon, ref_recon);
+  }
+
+  // Decode differential: full stream and a mid-stream truncation, each at
+  // every thread count.
   const size_t cuts[] = {ref.size(), Header::kBytes + (ref.size() - Header::kBytes) / 2};
   for (const size_t nbytes : cuts) {
     SCOPED_TRACE("decode nbytes=" + std::to_string(nbytes));
-    std::vector<double> ref_out(dims.total()), fast_out(dims.total());
-    DecodeStats ref_ds, fast_ds;
+    std::vector<double> ref_out(dims.total());
+    DecodeStats ref_ds;
     ASSERT_EQ(decode_reference(ref.data(), nbytes, dims, ref_out.data(), &ref_ds),
               Status::ok);
-    ASSERT_EQ(decode(ref.data(), nbytes, dims, fast_out.data(), &fast_ds), Status::ok);
-    expect_decode_stats_equal(fast_ds, ref_ds);
-    for (size_t i = 0; i < ref_out.size(); ++i)
-      ASSERT_EQ(fast_out[i], ref_out[i]) << "decoded coefficient " << i;
+    for (const int t : kThreadWall) {
+      SCOPED_TRACE("decode threads=" + std::to_string(t));
+      std::vector<double> fast_out(dims.total());
+      DecodeStats fast_ds;
+      ASSERT_EQ(decode(ref.data(), nbytes, dims, fast_out.data(), &fast_ds, t),
+                Status::ok);
+      expect_decode_stats_equal(fast_ds, ref_ds);
+      for (size_t i = 0; i < ref_out.size(); ++i)
+        ASSERT_EQ(fast_out[i], ref_out[i]) << "decoded coefficient " << i;
+    }
   }
 }
 
@@ -206,6 +243,113 @@ TEST(SpeckFast, EmbeddedPrefixSweepIsFiniteAndMonotone) {
     prev_rmse = rmse;
   }
   EXPECT_LT(prev_rmse, 0.05);  // the full stream hits the quantization floor
+}
+
+/// Truncate `stream` to exactly `nbits` payload bits: patch the header's
+/// nbits field (u64 LE at byte offset 14) and drop the surplus payload
+/// bytes. This is the format's own embedded-truncation mechanism.
+std::vector<uint8_t> truncate_to_bits(const std::vector<uint8_t>& stream,
+                                      uint64_t nbits) {
+  std::vector<uint8_t> cut(stream.begin(),
+                           stream.begin() + long(Header::kBytes + (nbits + 7) / 8));
+  for (int b = 0; b < 8; ++b) cut[14 + size_t(b)] = uint8_t(nbits >> (8 * b));
+  return cut;
+}
+
+TEST(SpeckFast, PrefixAtPlaneBoundaryEqualsCoarserQualityEncode) {
+  // The embedding property, exactly: cutting a stream at the end of plane
+  // k's passes is the SAME coder run at quantization step q*2^k. Both the
+  // payload bits and the decoded coefficients must match bit for bit —
+  // binary scaling shifts every significance test, refinement bit, and
+  // reconstruction by exact powers of two.
+  const Dims dims{30, 22, 9};
+  const double q = 0.04;
+  const auto coeffs = adversarial_coeffs(dims, 4242, q);
+
+  EncodeStats stats;
+  const auto stream = encode(coeffs.data(), dims, q, 0, &stats);
+  ASSERT_GT(stats.passes.size(), 3u);
+
+  std::vector<double> full(dims.total());
+  ASSERT_EQ(decode(stream.data(), stream.size(), dims, full.data()), Status::ok);
+
+  double prev_rmse = 1e300;
+  // Walk boundaries coarse-to-fine (passes run top plane first), checking
+  // the prefix/quality equivalence at each and RMSE monotonicity across
+  // them.
+  uint64_t prefix_bits = 0;
+  for (const auto& pass : stats.passes) {
+    prefix_bits += pass.sorting_bits + pass.refinement_bits;
+    const int32_t k = pass.plane;
+    SCOPED_TRACE("boundary after plane " + std::to_string(k));
+
+    // Re-encode at the coarser step q2 = q * 2^k: payload must equal the
+    // prefix exactly, bit count included.
+    const double q2 = std::ldexp(q, int(k));
+    EncodeStats s2;
+    const auto coarse = encode(coeffs.data(), dims, q2, 0, &s2);
+    ASSERT_EQ(uint64_t(s2.payload_bits), prefix_bits);
+    for (uint64_t bit = 0; bit < prefix_bits; ++bit) {
+      const size_t byte = Header::kBytes + size_t(bit / 8);
+      const unsigned sh = unsigned(bit % 8);
+      ASSERT_EQ((stream[byte] >> sh) & 1, (coarse[byte] >> sh) & 1)
+          << "payload bit " << bit;
+    }
+
+    // Decode the truncated stream and the coarse stream: identical doubles.
+    const auto cut = truncate_to_bits(stream, prefix_bits);
+    std::vector<double> cut_out(dims.total()), coarse_out(dims.total());
+    ASSERT_EQ(decode(cut.data(), cut.size(), dims, cut_out.data()), Status::ok);
+    ASSERT_EQ(decode(coarse.data(), coarse.size(), dims, coarse_out.data()),
+              Status::ok);
+    for (size_t i = 0; i < cut_out.size(); ++i)
+      ASSERT_EQ(cut_out[i], coarse_out[i]) << "coefficient " << i;
+
+    // Quality is monotone across plane boundaries (strictly more planes,
+    // never worse RMSE).
+    double sq = 0.0;
+    for (size_t i = 0; i < cut_out.size(); ++i) {
+      const double e = coeffs[i] - cut_out[i];
+      sq += e * e;
+    }
+    const double rmse = std::sqrt(sq / double(dims.total()));
+    EXPECT_LE(rmse, prev_rmse * (1.0 + 1e-12));
+    prev_rmse = rmse;
+  }
+  // The last boundary is the whole stream.
+  ASSERT_EQ(prefix_bits, uint64_t(stats.payload_bits));
+}
+
+TEST(SpeckFast, PerPassBitCountsPartitionThePayload) {
+  // EncodeStats::passes is the ground truth the prefix machinery and the
+  // bench records rely on: pass bit counts must sum to the payload exactly,
+  // planes must descend from n_max, and every count must be reproducible
+  // across thread counts (checked per-case in the differential wall; here
+  // across a real field too).
+  const Dims dims{40, 33, 11};
+  const auto coeffs = adversarial_coeffs(dims, 777, 0.1);
+  EncodeStats st;
+  const auto stream = encode(coeffs.data(), dims, 0.1, 0, &st);
+  ASSERT_FALSE(st.passes.size() == 0);
+  uint64_t sum = 0;
+  int32_t prev_plane = st.passes.front().plane + 1;
+  for (const auto& p : st.passes) {
+    EXPECT_EQ(p.plane, prev_plane - 1) << "planes must descend consecutively";
+    prev_plane = p.plane;
+    sum += p.sorting_bits + p.refinement_bits;
+  }
+  EXPECT_EQ(st.passes.back().plane, 0);
+  EXPECT_EQ(sum, uint64_t(st.payload_bits));
+
+  for (const int t : kThreadWall) {
+    EncodeStats ts;
+    (void)encode(coeffs.data(), dims, 0.1, 0, &ts, nullptr, t);
+    ASSERT_EQ(ts.passes.size(), st.passes.size());
+    for (size_t i = 0; i < ts.passes.size(); ++i) {
+      EXPECT_EQ(ts.passes[i].sorting_bits, st.passes[i].sorting_bits);
+      EXPECT_EQ(ts.passes[i].refinement_bits, st.passes[i].refinement_bits);
+    }
+  }
 }
 
 TEST(SpeckFast, SetTreeCoversGridExactly) {

@@ -47,7 +47,8 @@ import json
 import sys
 
 # Metric classification. Key order in REPORT lines follows the record.
-BOOL_KEYS = ("round_trip_ok", "bit_identical", "recovery_ok")
+BOOL_KEYS = ("round_trip_ok", "bit_identical", "parallel_bit_identical",
+             "recovery_ok")
 RATE_SUFFIXES = ("_mbps", "_mvox_s")  # higher better, dims-gated
 SMALL_RATIO_KEYS = ("tolerant_overhead", "verify_vs_decode")  # lower better
 SMALL_RATIO_SLACK = 0.02
@@ -111,9 +112,13 @@ class Gate:
                     self.failures += 1
                     print(f"FAIL  {name}:{key}  expected true, got {cur[key]!r}")
 
-        # 2. Speedups: scale-free, higher is better, always compared.
+        # 2. Speedups: scale-free, higher is better, always compared. Guard
+        #    on numeric values: records also carry arrays (e.g. per_pass
+        #    timing breakdowns) that are documentation, not gated metrics.
         for key in sorted(set(base) & set(cur)):
             if "speedup" not in key:
+                continue
+            if not all(isinstance(r[key], (int, float)) for r in (base, cur)):
                 continue
             self.check(name, key, pct_drop(base[key], cur[key]), base[key],
                        cur[key], "higher")
@@ -139,7 +144,9 @@ class Gate:
         # 5. Absolute rates: only meaningful at identical problem sizes on
         #    the same hardware, so gating them is opt-in.
         rate_keys = sorted(k for k in set(base) & set(cur)
-                           if k.endswith(RATE_SUFFIXES))
+                           if k.endswith(RATE_SUFFIXES)
+                           and isinstance(base[k], (int, float))
+                           and isinstance(cur[k], (int, float)))
         dims_match = (base.get("dims") == cur.get("dims")
                       and base.get("dims") is not None)
         if rate_keys and dims_match and self.gate_rates:

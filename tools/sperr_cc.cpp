@@ -4,7 +4,8 @@
 //   compress:    sperr_cc c  IN.raw OUT.sperr --dims NX [NY [NZ]] --type f32|f64
 //                          ( --pwe T | --idx K | --bpp R | --rmse E )
 //                          [ --q-over-t Q ] [ --chunk CX CY CZ ]
-//                          [ --threads N ] [ --no-lossless ] [ --verify ]
+//                          [ --threads N ] [ --intra-threads N ]
+//                          [ --no-lossless ] [ --verify ]
 //   decompress:  sperr_cc d  IN.sperr OUT.raw [--type f32|f64] [--drop L]
 //                          [ --recover fail-fast|zero|coarse ]
 //   inspect:     sperr_cc info IN.sperr [--verify]
@@ -45,7 +46,7 @@ constexpr int kExitVerify = 4;
                "  sperr_cc c IN.raw OUT.sperr --dims NX [NY [NZ]] --type f32|f64\n"
                "           (--pwe T | --idx K | --bpp R | --rmse E)\n"
                "           [--q-over-t Q] [--chunk CX CY CZ] [--threads N]\n"
-               "           [--no-lossless] [--verify]\n"
+               "           [--intra-threads N] [--no-lossless] [--verify]\n"
                "  sperr_cc d IN.sperr OUT.raw [--type f32|f64] [--drop L]\n"
                "           [--recover fail-fast|zero|coarse]\n"
                "  sperr_cc info IN.sperr [--verify]\n");
@@ -78,6 +79,7 @@ struct Args {
   int idx = -1;
   sperr::Dims chunk{256, 256, 256};
   int threads = 0;
+  int intra_threads = 1;  ///< SPECK lanes per chunk (byte-identical output)
   bool lossless = true;
   bool verify = false;
   size_t drop = 0;
@@ -126,6 +128,8 @@ struct Args {
         if (i + 1 < argc && argv[i + 1][0] != '-') chunk.z = size_t(std::atoll(argv[++i]));
       } else if (a == "--threads") {
         threads = std::atoi(next("--threads needs a count"));
+      } else if (a == "--intra-threads") {
+        intra_threads = std::atoi(next("--intra-threads needs a count"));
       } else if (a == "--no-lossless") {
         lossless = false;
       } else if (a == "--verify") {
@@ -202,6 +206,7 @@ int cmd_compress(const Args& args) {
   cfg.q_over_t = args.q_over_t;
   cfg.chunk_dims = args.chunk;
   cfg.num_threads = args.threads;
+  cfg.intra_chunk_threads = args.intra_threads;
   cfg.lossless_pass = args.lossless;
   if (args.pwe > 0) {
     cfg.mode = sperr::Mode::pwe;
