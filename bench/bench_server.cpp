@@ -1,0 +1,449 @@
+// bench_server — load generator and correctness harness for sperr_serve.
+//
+//   bench_server [--smoke] [--json PATH] [--port P] [--clients N]
+//                [--requests N] [--n SIZE] [--workers N] [--queue-depth Q]
+//
+// Three phases:
+//
+//   1. Identity probes: one connection issues COMPRESS / DECOMPRESS /
+//      VERIFY / EXTRACT_CHUNK requests and compares every reply byte-for-
+//      byte against direct sperr library calls with the same Config. The
+//      wire must be a transport, not a transformation.
+//   2. Mixed traffic: --clients connections each issue --requests requests
+//      cycling through all five opcodes; reports requests/s and p50/p99
+//      latency over the merged per-request timings.
+//   3. Backpressure: a dedicated in-process server (workers=1, queue=1)
+//      holds its only worker on a latch, fills the queue, and asserts the
+//      next request is rejected with BUSY while every admitted request is
+//      still answered after release — the bounded-queue contract of
+//      docs/PROTOCOL.md, made deterministic via ServerConfig::process_hook.
+//
+// Without --port the traffic phases run against an in-process Server;
+// with --port they target an already-running sperr_serve (the CI smoke job
+// does this) while phase 3 stays in-process. Writes a BENCH_server.json
+// record (--json) gated by tools/check_bench.py; exits 2 on any
+// correctness failure so CI notices without parsing JSON.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/byteio.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "common/types.h"
+#include "data/synthetic.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "sperr/sperr.h"
+
+namespace {
+
+using namespace sperr::server;
+using sperr::Dims;
+
+struct Options {
+  size_t n = 64;         // field is n^3, chunked n/2 -> 8 chunks
+  int clients = 4;
+  int per_client = 30;   // requests per client in the traffic phase
+  uint16_t port = 0;     // 0 = in-process server
+  int workers = 0;       // in-process server lanes (0 = one per core)
+  size_t queue_depth = 64;
+  std::string json;
+  bool smoke = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_server [--smoke] [--json PATH] [--port P]\n"
+               "                    [--clients N] [--requests N] [--n SIZE]\n"
+               "                    [--workers N] [--queue-depth Q]\n");
+  std::exit(2);
+}
+
+/// The workload everything measures: one deterministic field and the SPERR
+/// Config both the direct reference calls and the wire requests use.
+struct Workload {
+  Dims dims;
+  sperr::Config cfg;
+  std::vector<double> field;
+  std::vector<uint8_t> container;  // direct sperr::compress output
+  std::vector<double> decoded;     // direct sperr::decompress output
+  size_t nchunks = 0;
+
+  explicit Workload(size_t n) {
+    dims = Dims{n, n, n};
+    field = sperr::data::miranda_pressure(dims);
+    cfg.tolerance = sperr::tolerance_from_idx(field.data(), field.size(), 20);
+    cfg.chunk_dims = Dims{n / 2, n / 2, n / 2};
+    container = sperr::compress(field.data(), dims, cfg);
+    Dims od;
+    (void)sperr::decompress(container.data(), container.size(), decoded, od);
+    nchunks = 8;
+  }
+};
+
+struct Client {
+  int fd = -1;
+  explicit Client(uint16_t port) : fd(connect_loopback(port)) {}
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+};
+
+// --- phase 1: identity probes ----------------------------------------------
+
+bool check_identity(uint16_t port, const Workload& w) {
+  Client c(port);
+  if (c.fd < 0) {
+    std::fprintf(stderr, "bench_server: cannot connect to port %u\n", port);
+    return false;
+  }
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  bool ok = true;
+
+  // COMPRESS must reproduce the direct container byte-for-byte.
+  if (!roundtrip(c.fd, Opcode::compress, 1,
+                 build_compress_body(w.cfg, w.dims, w.field.data()), h, reply) ||
+      h.code != uint8_t(WireStatus::ok) || reply != w.container) {
+    std::fprintf(stderr, "bench_server: COMPRESS reply differs from direct call\n");
+    ok = false;
+  }
+
+  // DECOMPRESS must reproduce the direct decode (dims header + f64 samples).
+  if (!roundtrip(c.fd, Opcode::decompress, 2,
+                 build_decompress_body(0, 8, w.container.data(), w.container.size()),
+                 h, reply) ||
+      h.code != uint8_t(WireStatus::ok) ||
+      reply.size() != 24 + w.decoded.size() * 8 ||
+      std::memcmp(reply.data() + 24, w.decoded.data(), w.decoded.size() * 8) != 0) {
+    std::fprintf(stderr, "bench_server: DECOMPRESS reply differs from direct call\n");
+    ok = false;
+  }
+
+  // VERIFY must report a clean container with the expected chunk count.
+  if (!roundtrip(c.fd, Opcode::verify, 3, w.container, h, reply) ||
+      h.code != uint8_t(WireStatus::ok) ||
+      reply.size() != kVerifyReplyHeaderBytes + w.nchunks * kVerifyChunkRecordBytes ||
+      reply[1] != 1) {
+    std::fprintf(stderr, "bench_server: VERIFY did not report a clean container\n");
+    ok = false;
+  }
+
+  // Every EXTRACT_CHUNK must equal the matching region of the full decode
+  // (a chunk decodes to exactly the same doubles either way).
+  for (uint32_t k = 0; ok && k < w.nchunks; ++k) {
+    if (!roundtrip(c.fd, Opcode::extract_chunk, 100 + k,
+                   build_extract_body(k, w.container.data(), w.container.size()),
+                   h, reply) ||
+        h.code != uint8_t(WireStatus::ok) || reply.size() < 48) {
+      std::fprintf(stderr, "bench_server: EXTRACT_CHUNK %u failed\n", k);
+      ok = false;
+      break;
+    }
+    sperr::ByteReader br(reply.data(), reply.size());
+    const Dims origin{size_t(br.u64()), size_t(br.u64()), size_t(br.u64())};
+    const Dims cdims{size_t(br.u64()), size_t(br.u64()), size_t(br.u64())};
+    if (reply.size() != 48 + cdims.total() * 8) {
+      std::fprintf(stderr, "bench_server: EXTRACT_CHUNK %u reply size mismatch\n", k);
+      ok = false;
+      break;
+    }
+    const auto* got = reinterpret_cast<const double*>(reply.data() + 48);
+    for (size_t z = 0; ok && z < cdims.z; ++z)
+      for (size_t y = 0; ok && y < cdims.y; ++y) {
+        const size_t src = (origin.z + z) * w.dims.y * w.dims.x +
+                           (origin.y + y) * w.dims.x + origin.x;
+        if (std::memcmp(got + (z * cdims.y + y) * cdims.x, w.decoded.data() + src,
+                        cdims.x * 8) != 0) {
+          std::fprintf(stderr,
+                       "bench_server: EXTRACT_CHUNK %u differs from full decode\n", k);
+          ok = false;
+        }
+      }
+  }
+  return ok;
+}
+
+// --- phase 2: mixed traffic -------------------------------------------------
+
+struct TrafficResult {
+  uint64_t requests = 0;
+  uint64_t busy = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_up = 0;    // request bodies sent
+  uint64_t bytes_down = 0;  // reply bodies received
+  double wall_s = 0.0;
+  std::vector<double> latencies_ms;
+};
+
+TrafficResult run_traffic(uint16_t port, const Workload& w, int clients,
+                          int per_client) {
+  // Bodies are immutable and shared across client threads.
+  const auto compress_body = build_compress_body(w.cfg, w.dims, w.field.data());
+  const auto decompress_body =
+      build_decompress_body(0, 8, w.container.data(), w.container.size());
+  const std::vector<uint8_t> stats_body;
+
+  TrafficResult total;
+  std::mutex merge_mu;
+  std::vector<std::thread> threads;
+  sperr::Timer wall;
+  for (int cidx = 0; cidx < clients; ++cidx) {
+    threads.emplace_back([&, cidx] {
+      TrafficResult local;
+      Client c(port);
+      if (c.fd < 0) {
+        local.errors = uint64_t(per_client);
+        std::lock_guard<std::mutex> lk(merge_mu);
+        total.errors += local.errors;
+        return;
+      }
+      FrameHeader h;
+      std::vector<uint8_t> reply;
+      sperr::Timer timer;
+      for (int i = 0; i < per_client; ++i) {
+        const uint64_t id = uint64_t(cidx) * 100000 + uint64_t(i);
+        // 1:2:1:1 compress:decompress-ish mix; compress dominates cost, so
+        // it appears once per five requests.
+        const int kind = i % 5;
+        const std::vector<uint8_t>* body = &stats_body;
+        Opcode op = Opcode::stats;
+        std::vector<uint8_t> extract_body;
+        switch (kind) {
+          case 0: op = Opcode::compress; body = &compress_body; break;
+          case 1: op = Opcode::decompress; body = &decompress_body; break;
+          case 2: op = Opcode::verify; body = &w.container; break;
+          case 3:
+            op = Opcode::extract_chunk;
+            extract_body = build_extract_body(uint32_t(i) % uint32_t(w.nchunks),
+                                              w.container.data(), w.container.size());
+            body = &extract_body;
+            break;
+          default: break;  // stats
+        }
+        timer.reset();
+        if (!roundtrip(c.fd, op, id, *body, h, reply)) {
+          ++local.errors;
+          break;  // transport broken: stop this client
+        }
+        local.latencies_ms.push_back(timer.seconds() * 1e3);
+        ++local.requests;
+        local.bytes_up += body->size();
+        local.bytes_down += reply.size();
+        if (h.code == uint8_t(WireStatus::busy))
+          ++local.busy;
+        else if (h.code != uint8_t(WireStatus::ok))
+          ++local.errors;
+      }
+      std::lock_guard<std::mutex> lk(merge_mu);
+      total.requests += local.requests;
+      total.busy += local.busy;
+      total.errors += local.errors;
+      total.bytes_up += local.bytes_up;
+      total.bytes_down += local.bytes_down;
+      total.latencies_ms.insert(total.latencies_ms.end(),
+                                local.latencies_ms.begin(),
+                                local.latencies_ms.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  total.wall_s = wall.seconds();
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  return total;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t i = size_t(p * double(sorted.size() - 1) + 0.5);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+// --- phase 3: deterministic backpressure ------------------------------------
+
+bool check_backpressure() {
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.queue_capacity = 1;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> held{0};
+  // Hold the single worker on its first job so the queue's one slot and
+  // the BUSY path can be exercised without sleeps or timing assumptions.
+  sc.process_hook = [&](uint8_t) {
+    if (held.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return release; });
+    }
+  };
+  Server srv(sc);
+  if (srv.start() != sperr::Status::ok) return false;
+
+  const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};  // VERIFY -> corrupt
+  auto ask = [&](uint64_t id, uint8_t& status) {
+    Client c(srv.port());
+    FrameHeader h;
+    std::vector<uint8_t> reply;
+    if (c.fd < 0 || !roundtrip(c.fd, Opcode::verify, id, junk, h, reply))
+      return false;
+    status = h.code;
+    return true;
+  };
+
+  uint8_t st_a = 0xff, st_b = 0xff, st_c = 0xff;
+  bool ok_a = false, ok_b = false;
+  std::thread ta([&] { ok_a = ask(1, st_a); });  // occupies the worker
+  while (held.load() == 0) std::this_thread::yield();
+  std::thread tb([&] { ok_b = ask(2, st_b); });  // occupies the queue slot
+  sperr::Timer guard;
+  while (srv.stats().queue_depth < 1 && guard.seconds() < 10.0)
+    std::this_thread::yield();
+  // Worker held + queue full: the next request must be rejected, not queued.
+  const bool ok_c = ask(3, st_c);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  ta.join();
+  tb.join();
+  srv.stop();
+
+  const bool ok = ok_a && ok_b && ok_c &&
+                  st_a == uint8_t(WireStatus::corrupt) &&
+                  st_b == uint8_t(WireStatus::corrupt) &&
+                  st_c == uint8_t(WireStatus::busy);
+  if (!ok)
+    std::fprintf(stderr,
+                 "bench_server: backpressure contract violated "
+                 "(status a=%u b=%u c=%u, transport %d/%d/%d)\n",
+                 st_a, st_b, st_c, ok_a, ok_b, ok_c);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (a == "--json") {
+      opt.json = next();
+    } else if (a == "--port") {
+      opt.port = uint16_t(std::atoi(next()));
+    } else if (a == "--clients") {
+      opt.clients = std::atoi(next());
+    } else if (a == "--requests") {
+      opt.per_client = std::atoi(next());
+    } else if (a == "--n") {
+      opt.n = size_t(std::atol(next()));
+    } else if (a == "--workers") {
+      opt.workers = std::atoi(next());
+    } else if (a == "--queue-depth") {
+      opt.queue_depth = size_t(std::atol(next()));
+    } else {
+      usage();
+    }
+  }
+  if (opt.smoke) {  // quick pass: fewer clients/requests, same field size
+    opt.clients = std::min(opt.clients, 2);
+    opt.per_client = std::min(opt.per_client, 10);
+  }
+  if (opt.clients < 1 || opt.per_client < 1 || opt.n < 8) usage();
+
+  std::printf("bench_server: preparing %zu^3 workload...\n", opt.n);
+  const Workload w(opt.n);
+
+  // In-process server unless --port points at a running sperr_serve.
+  std::unique_ptr<Server> local;
+  uint16_t port = opt.port;
+  const int workers = sperr::resolve_thread_count(opt.workers);
+  if (port == 0) {
+    ServerConfig sc;
+    sc.workers = workers;
+    sc.queue_capacity = opt.queue_depth;
+    local = std::make_unique<Server>(sc);
+    if (local->start() != sperr::Status::ok) {
+      std::fprintf(stderr, "bench_server: cannot start in-process server\n");
+      return 1;
+    }
+    port = local->port();
+  }
+
+  const bool identical = check_identity(port, w);
+  std::printf("bench_server: identity probes %s\n", identical ? "ok" : "FAILED");
+
+  const TrafficResult t = run_traffic(port, w, opt.clients, opt.per_client);
+  const double rps = t.wall_s > 0 ? double(t.requests) / t.wall_s : 0.0;
+  const double p50 = percentile(t.latencies_ms, 0.50);
+  const double p99 = percentile(t.latencies_ms, 0.99);
+  std::printf(
+      "bench_server: %llu requests over %d client(s) in %.2fs -> %.1f req/s, "
+      "p50 %.2f ms, p99 %.2f ms, %llu busy, %llu error(s)\n",
+      static_cast<unsigned long long>(t.requests), opt.clients, t.wall_s, rps,
+      p50, p99, static_cast<unsigned long long>(t.busy),
+      static_cast<unsigned long long>(t.errors));
+
+  if (local) local->stop();
+
+  const bool backpressure_ok = check_backpressure();
+  std::printf("bench_server: backpressure contract %s\n",
+              backpressure_ok ? "ok" : "FAILED");
+
+  const bool traffic_ok = t.errors == 0 && t.requests > 0;
+
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"benchmark\": \"server\",\n"
+                "  \"dims\": [%zu, %zu, %zu],\n"
+                "  \"clients\": %d,\n"
+                "  \"workers\": %d,\n"
+                "  \"queue_capacity\": %zu,\n"
+                "  \"requests_total\": %llu,\n"
+                "  \"wall_seconds\": %.4f,\n"
+                "  \"requests_per_s\": %.1f,\n"
+                "  \"p50_ms\": %.3f,\n"
+                "  \"p99_ms\": %.3f,\n"
+                "  \"busy_replies\": %llu,\n"
+                "  \"request_errors\": %llu,\n"
+                "  \"mb_up\": %.2f,\n"
+                "  \"mb_down\": %.2f,\n"
+                "  \"responses_identical\": %s,\n"
+                "  \"backpressure_ok\": %s,\n"
+                "  \"traffic_ok\": %s\n"
+                "}\n",
+                w.dims.x, w.dims.y, w.dims.z, opt.clients, workers,
+                opt.queue_depth, static_cast<unsigned long long>(t.requests),
+                t.wall_s, rps, p50, p99,
+                static_cast<unsigned long long>(t.busy),
+                static_cast<unsigned long long>(t.errors),
+                double(t.bytes_up) / 1e6, double(t.bytes_down) / 1e6,
+                identical ? "true" : "false", backpressure_ok ? "true" : "false",
+                traffic_ok ? "true" : "false");
+  std::printf("%s", buf);
+  if (!opt.json.empty()) {
+    std::ofstream out(opt.json);
+    out << buf;
+  }
+  return (identical && backpressure_ok && traffic_ok) ? 0 : 2;
+}

@@ -1,0 +1,160 @@
+#pragma once
+
+// Per-request server metrics, exposed through the STATS opcode.
+//
+// Counters are updated under one mutex when a request completes (queue wait,
+// processing time, bytes, per-opcode counts, pipeline stage timings from the
+// compressor's sperr::Stats) plus at admission time for BUSY rejections and
+// consumed request bytes. A STATS request snapshots the counters *after*
+// counting itself, so the very first STATS on a fresh server already reports
+// requests_total >= 1 — this makes the docs/PROTOCOL.md worked example
+// deterministic and the conformance ctest byte-checkable.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/byteio.h"
+#include "sperr/config.h"
+
+namespace sperr::server {
+
+/// One coherent copy of every counter; the wire layout of the STATS reply
+/// body (168 bytes, docs/PROTOCOL.md) serializes exactly these fields.
+struct StatsSnapshot {
+  double uptime_seconds = 0.0;  ///< since Server::start()
+  uint64_t requests_total = 0;  ///< completed requests (all opcodes, incl. error replies)
+  uint64_t compress_count = 0;
+  uint64_t decompress_count = 0;
+  uint64_t verify_count = 0;
+  uint64_t extract_count = 0;
+  uint64_t stats_count = 0;
+  uint64_t rejected_busy = 0;  ///< requests refused at the queue high-water mark
+  uint64_t errors = 0;         ///< replies with status != ok, excluding BUSY
+  uint64_t bytes_in = 0;       ///< request body bytes consumed (incl. rejected)
+  uint64_t bytes_out = 0;      ///< reply body bytes produced by completed requests
+  uint64_t queue_depth = 0;    ///< jobs waiting at snapshot time
+  uint64_t queue_capacity = 0; ///< the configured high-water mark
+  uint64_t workers = 0;        ///< worker-pool lane count
+  double queue_wait_seconds = 0.0;  ///< summed admission -> dequeue wait
+  double busy_seconds = 0.0;        ///< summed worker processing time
+  /// Pipeline stage seconds summed over COMPRESS requests (sperr::StageTiming).
+  double transform_seconds = 0.0;
+  double speck_seconds = 0.0;
+  double locate_seconds = 0.0;
+  double outlier_seconds = 0.0;
+  double lossless_seconds = 0.0;
+
+  /// Serialize as the STATS reply body (docs/PROTOCOL.md layout, 168 bytes).
+  [[nodiscard]] std::vector<uint8_t> serialize() const {
+    std::vector<uint8_t> out;
+    out.reserve(168);
+    put_f64(out, uptime_seconds);
+    put_u64(out, requests_total);
+    put_u64(out, compress_count);
+    put_u64(out, decompress_count);
+    put_u64(out, verify_count);
+    put_u64(out, extract_count);
+    put_u64(out, stats_count);
+    put_u64(out, rejected_busy);
+    put_u64(out, errors);
+    put_u64(out, bytes_in);
+    put_u64(out, bytes_out);
+    put_u64(out, queue_depth);
+    put_u64(out, queue_capacity);
+    put_u64(out, workers);
+    put_f64(out, queue_wait_seconds);
+    put_f64(out, busy_seconds);
+    put_f64(out, transform_seconds);
+    put_f64(out, speck_seconds);
+    put_f64(out, locate_seconds);
+    put_f64(out, outlier_seconds);
+    put_f64(out, lossless_seconds);
+    return out;
+  }
+
+  /// Parse a STATS reply body (client side). Returns false on a size or
+  /// framing mismatch.
+  static bool parse(const uint8_t* body, size_t size, StatsSnapshot& out) {
+    if (size != 168) return false;
+    ByteReader br(body, size);
+    out.uptime_seconds = br.f64();
+    out.requests_total = br.u64();
+    out.compress_count = br.u64();
+    out.decompress_count = br.u64();
+    out.verify_count = br.u64();
+    out.extract_count = br.u64();
+    out.stats_count = br.u64();
+    out.rejected_busy = br.u64();
+    out.errors = br.u64();
+    out.bytes_in = br.u64();
+    out.bytes_out = br.u64();
+    out.queue_depth = br.u64();
+    out.queue_capacity = br.u64();
+    out.workers = br.u64();
+    out.queue_wait_seconds = br.f64();
+    out.busy_seconds = br.f64();
+    out.transform_seconds = br.f64();
+    out.speck_seconds = br.f64();
+    out.locate_seconds = br.f64();
+    out.outlier_seconds = br.f64();
+    out.lossless_seconds = br.f64();
+    return br.ok();
+  }
+};
+
+/// Thread-safe accumulator behind StatsSnapshot.
+class Metrics {
+ public:
+  void count_bytes_in(uint64_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    s_.bytes_in += n;
+  }
+
+  void count_busy() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.rejected_busy;
+  }
+
+  /// Record one completed request: its opcode slot, reply verdict, reply
+  /// body size, and timings. `stage`, when non-null, adds a COMPRESS
+  /// request's pipeline stage seconds.
+  void count_request(uint8_t opcode, bool error, uint64_t bytes_out,
+                     double queue_wait_s, double busy_s,
+                     const StageTiming* stage = nullptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.requests_total;
+    switch (opcode) {
+      case 1: ++s_.compress_count; break;
+      case 2: ++s_.decompress_count; break;
+      case 3: ++s_.verify_count; break;
+      case 4: ++s_.extract_count; break;
+      case 5: ++s_.stats_count; break;
+      default: break;  // malformed frames count in requests_total + errors only
+    }
+    if (error) ++s_.errors;
+    s_.bytes_out += bytes_out;
+    s_.queue_wait_seconds += queue_wait_s;
+    s_.busy_seconds += busy_s;
+    if (stage) {
+      s_.transform_seconds += stage->transform_s;
+      s_.speck_seconds += stage->speck_s;
+      s_.locate_seconds += stage->locate_s;
+      s_.outlier_seconds += stage->outlier_s;
+      s_.lossless_seconds += stage->lossless_s;
+    }
+  }
+
+  /// Coherent copy; the caller fills the non-counter fields (uptime, queue
+  /// depth/capacity, workers).
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return s_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  StatsSnapshot s_;
+};
+
+}  // namespace sperr::server

@@ -1,0 +1,162 @@
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/byteio.h"
+
+namespace sperr::server {
+
+void put_frame_header(std::vector<uint8_t>& out, uint32_t magic, uint8_t code,
+                      uint64_t request_id, uint64_t body_len) {
+  put_u32(out, magic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, code);
+  put_u16(out, 0);  // reserved
+  put_u64(out, request_id);
+  put_u64(out, body_len);
+}
+
+FrameHeader parse_frame_header(const uint8_t* bytes) {
+  ByteReader br(bytes, kFrameHeaderBytes);
+  FrameHeader h;
+  h.magic = br.u32();
+  h.version = br.u8();
+  h.code = br.u8();
+  h.reserved = br.u16();
+  h.request_id = br.u64();
+  h.body_len = br.u64();
+  return h;
+}
+
+bool read_exact(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      p += got;
+      n -= size_t(got);
+    } else if (got == 0) {
+      return false;  // orderly EOF mid-message
+    } else if (errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool write_all(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that closed early must surface as EPIPE, not
+    // terminate the server process with SIGPIPE.
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put > 0) {
+      p += put;
+      n -= size_t(put);
+    } else if (put < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool send_frame(int fd, uint32_t magic, uint8_t code, uint64_t request_id,
+                const uint8_t* body, size_t body_len) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + body_len);
+  put_frame_header(frame, magic, code, request_id, body_len);
+  if (body_len > 0) frame.insert(frame.end(), body, body + body_len);
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool recv_frame(int fd, FrameHeader& hdr, std::vector<uint8_t>& body,
+                size_t max_body) {
+  uint8_t raw[kFrameHeaderBytes];
+  if (!read_exact(fd, raw, sizeof raw)) return false;
+  hdr = parse_frame_header(raw);
+  if (hdr.body_len > max_body) return false;
+  body.resize(size_t(hdr.body_len));
+  if (hdr.body_len > 0 && !read_exact(fd, body.data(), body.size())) return false;
+  return true;
+}
+
+int connect_loopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  // Request/reply traffic: small frames benefit from immediate sends.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+std::vector<uint8_t> build_compress_body(const sperr::Config& cfg, Dims dims,
+                                         const double* samples, uint8_t flags) {
+  double quality = cfg.tolerance;
+  if (cfg.mode == Mode::fixed_rate) quality = cfg.bpp;
+  if (cfg.mode == Mode::target_rmse) quality = cfg.rmse;
+  if (!cfg.lossless_pass) flags |= kCompressFlagNoLossless;
+  std::vector<uint8_t> body;
+  body.reserve(kCompressBodyHeaderBytes + dims.total() * sizeof(double));
+  put_u8(body, uint8_t(cfg.mode));
+  put_u8(body, 8);  // f64 samples
+  put_u8(body, flags);
+  put_u8(body, 0);  // reserved
+  put_f64(body, quality);
+  put_f64(body, cfg.q_over_t);
+  put_u64(body, dims.x);
+  put_u64(body, dims.y);
+  put_u64(body, dims.z);
+  put_u64(body, cfg.chunk_dims.x);
+  put_u64(body, cfg.chunk_dims.y);
+  put_u64(body, cfg.chunk_dims.z);
+  const auto* raw = reinterpret_cast<const uint8_t*>(samples);
+  body.insert(body.end(), raw, raw + dims.total() * sizeof(double));
+  return body;
+}
+
+std::vector<uint8_t> build_decompress_body(uint8_t policy, uint8_t precision,
+                                           const uint8_t* container, size_t size) {
+  std::vector<uint8_t> body;
+  body.reserve(kDecompressBodyHeaderBytes + size);
+  put_u8(body, policy);
+  put_u8(body, precision);
+  put_u16(body, 0);  // reserved
+  body.insert(body.end(), container, container + size);
+  return body;
+}
+
+std::vector<uint8_t> build_extract_body(uint32_t chunk_index,
+                                        const uint8_t* container, size_t size) {
+  std::vector<uint8_t> body;
+  body.reserve(kExtractBodyHeaderBytes + size);
+  put_u32(body, chunk_index);
+  body.insert(body.end(), container, container + size);
+  return body;
+}
+
+bool roundtrip(int fd, Opcode op, uint64_t request_id,
+               const std::vector<uint8_t>& body, FrameHeader& reply_hdr,
+               std::vector<uint8_t>& reply_body, size_t max_body) {
+  if (!send_frame(fd, kRequestMagic, uint8_t(op), request_id, body.data(),
+                  body.size()))
+    return false;
+  if (!recv_frame(fd, reply_hdr, reply_body, max_body)) return false;
+  return reply_hdr.magic == kReplyMagic && reply_hdr.request_id == request_id;
+}
+
+}  // namespace sperr::server

@@ -1,0 +1,77 @@
+#pragma once
+
+// Bounded MPMC request queue with reject-on-full backpressure.
+//
+// The server's admission contract (docs/PROTOCOL.md "Backpressure"): a
+// request that arrives while `capacity` jobs are already waiting is rejected
+// immediately with a BUSY reply instead of being buffered — the client
+// learns the server is saturated after one round trip, and server memory
+// stays bounded no matter how hard the load generator pushes. try_push never
+// blocks; pop blocks until an item arrives or the queue is stopped *and*
+// drained (a stopping server finishes every admitted job, so no accepted
+// request is ever silently dropped).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace sperr::server {
+
+template <class T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admit one item; false when at the high-water mark or stopped (the
+  /// caller replies BUSY). Never blocks.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopped_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Wait for the next item. Returns false only when the queue was stopped
+  /// and every admitted item has been handed out.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return stopped_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Refuse new items and wake all waiters; admitted items remain poppable.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopped_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool stopped_ = false;
+};
+
+}  // namespace sperr::server

@@ -1,0 +1,475 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <unordered_set>
+
+#include "common/arena.h"
+#include "common/byteio.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+#include "metrics/metrics.h"
+#include "server/queue.h"
+#include "sperr/recovery.h"
+#include "sperr/sperr.h"
+
+namespace sperr::server {
+namespace {
+
+/// What a worker hands back to the connection reader.
+struct Reply {
+  WireStatus status = WireStatus::io_error;
+  std::vector<uint8_t> body;
+  StageTiming stage;       ///< compress-only pipeline stage seconds
+  bool has_stage = false;
+};
+
+struct Job {
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> body;
+  std::shared_ptr<std::promise<Reply>> promise;
+  Timer waited;  ///< started at admission; read at dequeue = queue wait
+};
+
+void append_dims(std::vector<uint8_t>& out, const Dims& d) {
+  put_u64(out, d.x);
+  put_u64(out, d.y);
+  put_u64(out, d.z);
+}
+
+Dims read_dims(ByteReader& br) {
+  Dims d;
+  d.x = size_t(br.u64());
+  d.y = size_t(br.u64());
+  d.z = size_t(br.u64());
+  return d;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig c)
+      : cfg(std::move(c)),
+        workers(std::max(1, cfg.workers)),
+        queue(cfg.queue_capacity) {}
+
+  ServerConfig cfg;
+  const int workers;
+  BoundedQueue<Job> queue;
+  Metrics metrics;
+  Timer started;
+
+  int listen_fd = -1;
+  std::thread acceptor;
+  std::thread pool_driver;
+  std::unique_ptr<TaskPool> pool;
+
+  std::mutex conn_mu;
+  std::unordered_set<int> conn_fds;             // live connection sockets
+  std::vector<std::thread> conn_threads;
+  std::atomic<bool> stopping{false};
+  bool stopped = false;  // stop() ran to completion (guarded by stop_mu)
+  std::mutex stop_mu;
+
+  // --- request dispatch (worker side) --------------------------------------
+
+  Reply do_compress(const std::vector<uint8_t>& body) {
+    Reply r;
+    r.status = WireStatus::bad_request;
+    if (body.size() < kCompressBodyHeaderBytes) return r;
+    ByteReader br(body.data(), body.size());
+    const uint8_t mode = br.u8();
+    const uint8_t precision = br.u8();
+    const uint8_t flags = br.u8();
+    const uint8_t reserved = br.u8();
+    const double quality = br.f64();
+    const double q_over_t = br.f64();
+    const Dims dims = read_dims(br);
+    const Dims chunk_dims = read_dims(br);
+    if (mode > 2 || (precision != 4 && precision != 8) || reserved != 0 ||
+        (flags & ~kCompressFlagsKnown) != 0)
+      return r;
+    if (!plausible_dims(dims)) return r;
+    if (!(quality > 0.0) || !std::isfinite(quality)) return r;
+    const size_t expect = dims.total() * precision;
+    if (body.size() - kCompressBodyHeaderBytes != expect) return r;
+
+    Config cfg2;
+    cfg2.mode = Mode(mode);
+    if (cfg2.mode == Mode::pwe)
+      cfg2.tolerance = quality;
+    else if (cfg2.mode == Mode::fixed_rate)
+      cfg2.bpp = quality;
+    else
+      cfg2.rmse = quality;
+    if (q_over_t > 0.0) cfg2.q_over_t = q_over_t;
+    if (chunk_dims.x || chunk_dims.y || chunk_dims.z) {
+      if (chunk_dims.x == 0 || chunk_dims.y == 0 || chunk_dims.z == 0) return r;
+      cfg2.chunk_dims = chunk_dims;
+    }
+    cfg2.num_threads = cfg.threads_per_request;
+    cfg2.intra_chunk_threads = cfg.intra_chunk_threads;
+    cfg2.lossless_pass = (flags & kCompressFlagNoLossless) == 0;
+
+    const uint8_t* samples = body.data() + kCompressBodyHeaderBytes;
+    Stats stats;
+    std::vector<uint8_t> blob;
+    // The body offset is not 8-aligned, so samples are copied out rather
+    // than reinterpreted in place.
+    std::vector<double> field64;
+    if (precision == 8) {
+      field64.resize(dims.total());
+      std::memcpy(field64.data(), samples, expect);
+      blob = sperr::compress(field64.data(), dims, cfg2, &stats);
+    } else {
+      std::vector<float> field32(dims.total());
+      std::memcpy(field32.data(), samples, expect);
+      blob = sperr::compress(field32.data(), dims, cfg2, &stats);
+      if (flags & kCompressFlagVerify) {
+        field64.assign(field32.begin(), field32.end());
+      }
+    }
+    if (blob.empty()) {
+      r.status = WireStatus::io_error;
+      return r;
+    }
+    if (flags & kCompressFlagVerify) {
+      std::vector<double> recon;
+      Dims od;
+      if (sperr::decompress(blob.data(), blob.size(), recon, od) != Status::ok ||
+          od != dims) {
+        r.status = WireStatus::verify_failed;
+        return r;
+      }
+      if (cfg2.mode == Mode::pwe) {
+        // f32 inputs round-trip through the container's f32 precision, so
+        // the bound is checked against the f32 field the encoder saw.
+        const auto q =
+            sperr::metrics::compare(field64.data(), recon.data(), recon.size());
+        if (!(q.max_pwe <= cfg2.tolerance)) {
+          r.status = WireStatus::verify_failed;
+          return r;
+        }
+      }
+    }
+    r.status = WireStatus::ok;
+    r.body = std::move(blob);
+    r.stage = stats.timing;
+    r.has_stage = true;
+    return r;
+  }
+
+  Reply do_decompress(const std::vector<uint8_t>& body) {
+    Reply r;
+    r.status = WireStatus::bad_request;
+    if (body.size() < kDecompressBodyHeaderBytes) return r;
+    ByteReader br(body.data(), body.size());
+    const uint8_t policy = br.u8();
+    const uint8_t precision = br.u8();
+    const uint16_t reserved = br.u16();
+    if (policy > 2 || (precision != 4 && precision != 8) || reserved != 0) return r;
+
+    const uint8_t* blob = body.data() + kDecompressBodyHeaderBytes;
+    const size_t blob_len = body.size() - kDecompressBodyHeaderBytes;
+    std::vector<double> field;
+    Dims dims;
+    const Status s = sperr::decompress_tolerant(blob, blob_len, Recovery(policy),
+                                                field, dims, nullptr);
+    if (s != Status::ok) {
+      r.status = WireStatus::corrupt;
+      return r;
+    }
+    r.status = WireStatus::ok;
+    r.body.reserve(24 + field.size() * precision);
+    append_dims(r.body, dims);
+    if (precision == 8) {
+      const auto* p = reinterpret_cast<const uint8_t*>(field.data());
+      r.body.insert(r.body.end(), p, p + field.size() * 8);
+    } else {
+      std::vector<float> out32(field.begin(), field.end());
+      const auto* p = reinterpret_cast<const uint8_t*>(out32.data());
+      r.body.insert(r.body.end(), p, p + out32.size() * 4);
+    }
+    return r;
+  }
+
+  Reply do_verify(const std::vector<uint8_t>& body) {
+    Reply r;
+    DecodeReport rep;
+    const Status s = sperr::verify_container(body.data(), body.size(), &rep);
+    if (!rep.header_ok) {
+      r.status = WireStatus::corrupt;
+      return r;
+    }
+    r.status = s == Status::ok ? WireStatus::ok : WireStatus::corrupt;
+    r.body.reserve(kVerifyReplyHeaderBytes +
+                   rep.chunks.size() * kVerifyChunkRecordBytes);
+    put_u8(r.body, rep.version);
+    put_u8(r.body, s == Status::ok ? 1 : 0);
+    put_u16(r.body, 0);
+    put_u32(r.body, uint32_t(rep.damaged));
+    put_u32(r.body, uint32_t(rep.chunks.size()));
+    for (const ChunkReport& c : rep.chunks) {
+      put_u32(r.body, uint32_t(c.index));
+      put_u8(r.body, uint8_t(c.status));
+      put_u8(r.body, c.checksum_present ? 1 : 0);
+      put_u8(r.body, c.checksum_ok ? 1 : 0);
+      put_u8(r.body, 0);
+    }
+    return r;
+  }
+
+  Reply do_extract_chunk(const std::vector<uint8_t>& body) {
+    Reply r;
+    r.status = WireStatus::bad_request;
+    if (body.size() < kExtractBodyHeaderBytes) return r;
+    ByteReader br(body.data(), body.size());
+    const uint32_t index = br.u32();
+    const uint8_t* blob = body.data() + kExtractBodyHeaderBytes;
+    const size_t blob_len = body.size() - kExtractBodyHeaderBytes;
+
+    detail::OpenedContainer oc;
+    if (detail::open_tolerant(blob, blob_len, Recovery::fail_fast, oc, nullptr) !=
+        Status::ok) {
+      r.status = WireStatus::corrupt;
+      return r;
+    }
+    if (index >= oc.chunks.size()) return r;  // bad_request: no such chunk
+    const Chunk& chunk = oc.chunks[index];
+    std::vector<double> buf(chunk.dims.total(), 0.0);
+    const ChunkReport crep = detail::decode_chunk(oc, index, Recovery::fail_fast,
+                                                  buf.data(), &tls_arena(),
+                                                  cfg.intra_chunk_threads);
+    if (crep.damaged()) {
+      r.status = WireStatus::corrupt;
+      return r;
+    }
+    r.status = WireStatus::ok;
+    r.body.reserve(48 + buf.size() * 8);
+    append_dims(r.body, chunk.origin);
+    append_dims(r.body, chunk.dims);
+    const auto* p = reinterpret_cast<const uint8_t*>(buf.data());
+    r.body.insert(r.body.end(), p, p + buf.size() * 8);
+    return r;
+  }
+
+  Reply dispatch(const Job& job) {
+    switch (Opcode(job.opcode)) {
+      case Opcode::compress: return do_compress(job.body);
+      case Opcode::decompress: return do_decompress(job.body);
+      case Opcode::verify: return do_verify(job.body);
+      case Opcode::extract_chunk: return do_extract_chunk(job.body);
+      default: break;  // stats is handled in worker_loop, unknown at the reader
+    }
+    Reply r;
+    r.status = WireStatus::bad_request;
+    return r;
+  }
+
+  [[nodiscard]] StatsSnapshot snapshot() const {
+    StatsSnapshot s = metrics.snapshot();
+    s.uptime_seconds = started.seconds();
+    s.queue_depth = queue.depth();
+    s.queue_capacity = queue.capacity();
+    s.workers = uint64_t(workers);
+    return s;
+  }
+
+  // --- worker pool ----------------------------------------------------------
+
+  void worker_loop() {
+    Job job;
+    while (queue.pop(job)) {
+      const double wait_s = job.waited.seconds();
+      if (cfg.process_hook) cfg.process_hook(job.opcode);
+      Reply reply;
+      if (Opcode(job.opcode) == Opcode::stats) {
+        // Count this request *before* snapshotting so the reply includes
+        // itself (the deterministic contract docs/PROTOCOL.md documents:
+        // requests_total/stats_count include the request being answered;
+        // bytes_out and busy_seconds exclude its in-flight reply).
+        metrics.count_request(job.opcode, /*error=*/false, /*bytes_out=*/0,
+                              wait_s, /*busy_s=*/0.0);
+        reply.status = WireStatus::ok;
+        reply.body = snapshot().serialize();
+      } else {
+        Timer busy;
+        // A worker must outlive any single bad request: library contract
+        // violations surface as io_error replies, never as a dead server.
+        try {
+          reply = dispatch(job);
+        } catch (...) {
+          reply = Reply{};
+          reply.status = WireStatus::io_error;
+        }
+        metrics.count_request(job.opcode, reply.status != WireStatus::ok,
+                              reply.body.size(), wait_s, busy.seconds(),
+                              reply.has_stage ? &reply.stage : nullptr);
+      }
+      job.promise->set_value(std::move(reply));
+      job = Job{};  // release the body before blocking on the next pop
+    }
+  }
+
+  // --- connection handling (reader side) ------------------------------------
+
+  /// Counted protocol-level rejection: reply `status` and record the frame
+  /// as answered-with-error (no per-opcode slot: it never reached a worker).
+  bool reject(int fd, uint64_t request_id, WireStatus status) {
+    metrics.count_request(/*opcode=*/0, /*error=*/true, 0, 0.0, 0.0);
+    return send_frame(fd, kReplyMagic, uint8_t(status), request_id, nullptr, 0);
+  }
+
+  void serve_connection(int fd) {
+    std::vector<uint8_t> body;
+    for (;;) {
+      uint8_t raw[kFrameHeaderBytes];
+      if (!read_exact(fd, raw, sizeof raw)) break;  // EOF / truncated header
+      const FrameHeader h = parse_frame_header(raw);
+      // Header-level violations close the connection: once framing is in
+      // doubt (wrong magic, an unreadably large body) the byte stream
+      // cannot be safely re-synchronized.
+      if (h.magic != kRequestMagic || h.reserved != 0) {
+        reject(fd, h.request_id, WireStatus::bad_request);
+        break;
+      }
+      if (h.version != kProtocolVersion) {
+        reject(fd, h.request_id, WireStatus::unsupported_version);
+        break;
+      }
+      if (h.body_len > cfg.max_body_bytes) {
+        reject(fd, h.request_id, WireStatus::bad_request);
+        break;
+      }
+      body.resize(size_t(h.body_len));
+      if (h.body_len > 0 && !read_exact(fd, body.data(), body.size())) break;
+      metrics.count_bytes_in(h.body_len);
+      // Frame-level violations with intact framing keep the connection.
+      if (h.code < uint8_t(Opcode::compress) || h.code > uint8_t(Opcode::stats) ||
+          (Opcode(h.code) == Opcode::stats && h.body_len != 0)) {
+        if (!reject(fd, h.request_id, WireStatus::bad_request)) break;
+        continue;
+      }
+      Job job;
+      job.opcode = h.code;
+      job.request_id = h.request_id;
+      job.body = std::move(body);
+      job.promise = std::make_shared<std::promise<Reply>>();
+      auto future = job.promise->get_future();
+      if (!queue.try_push(std::move(job))) {
+        metrics.count_busy();
+        if (!send_frame(fd, kReplyMagic, uint8_t(WireStatus::busy), h.request_id,
+                        nullptr, 0))
+          break;
+        body.clear();
+        continue;
+      }
+      const Reply reply = future.get();
+      if (!send_frame(fd, kReplyMagic, uint8_t(reply.status), h.request_id,
+                      reply.body.data(), reply.body.size()))
+        break;
+      body.clear();
+    }
+    {
+      // Deregister before closing so stop() can never shutdown() a
+      // recycled descriptor.
+      std::lock_guard<std::mutex> lk(conn_mu);
+      conn_fds.erase(fd);
+    }
+    ::close(fd);
+  }
+
+  void accept_loop() {
+    for (;;) {
+      const int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listener shut down (stop()) or fatal error
+      }
+      if (stopping.load()) {
+        ::close(cfd);
+        break;
+      }
+      int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      std::lock_guard<std::mutex> lk(conn_mu);
+      conn_fds.insert(cfd);
+      conn_threads.emplace_back([this, cfd] { serve_connection(cfd); });
+    }
+  }
+};
+
+Server::Server(ServerConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  Impl& im = *impl_;
+  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (im.listen_fd < 0) return Status::invalid_argument;
+  int one = 1;
+  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.cfg.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(im.listen_fd, 128) != 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return Status::invalid_argument;
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(im.listen_fd, reinterpret_cast<sockaddr*>(&addr), &alen) != 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return Status::invalid_argument;
+  }
+  port_ = ntohs(addr.sin_port);
+  im.started.reset();
+  im.pool = std::make_unique<TaskPool>(im.workers);
+  im.pool_driver = std::thread(
+      [this] { impl_->pool->run([this](int) { impl_->worker_loop(); }); });
+  im.acceptor = std::thread([this] { impl_->accept_loop(); });
+  return Status::ok;
+}
+
+void Server::stop() {
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> stop_lk(im.stop_mu);
+  if (im.stopped || im.listen_fd < 0) return;
+  im.stopped = true;
+  im.stopping.store(true);
+  // 1. Stop accepting (shutdown wakes the blocked accept() on Linux).
+  ::shutdown(im.listen_fd, SHUT_RDWR);
+  im.acceptor.join();
+  ::close(im.listen_fd);
+  // 2. Drain: no new admissions (late arrivals get BUSY); workers finish
+  //    every admitted job — readers still hold open sockets, so those
+  //    replies are delivered — then exit when the queue is empty.
+  im.queue.stop();
+  im.pool_driver.join();
+  im.pool.reset();
+  // 3. Unblock readers waiting for the next request frame.
+  {
+    std::lock_guard<std::mutex> lk(im.conn_mu);
+    for (const int fd : im.conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  // conn_threads only grows under conn_mu from the (already joined)
+  // acceptor, so iterating without the lock is safe here.
+  for (std::thread& t : im.conn_threads) t.join();
+  im.conn_threads.clear();
+}
+
+StatsSnapshot Server::stats() const { return impl_->snapshot(); }
+
+}  // namespace sperr::server

@@ -1,0 +1,104 @@
+#pragma once
+
+// `sperr_serve` core: a long-lived TCP compression server over the SPERR
+// library (ROADMAP item 3; docs/PROTOCOL.md specifies the wire contract,
+// docs/OPERATIONS.md how to run and tune it).
+//
+// Threading model:
+//
+//   acceptor thread ── accept() ──> one reader thread per connection
+//        │                              │  frames requests, validates headers
+//        │                              ▼
+//        │                    BoundedQueue<Job> (reject-with-BUSY when full)
+//        │                              │
+//        ▼                              ▼
+//   worker pool: a TaskPool (common/threadpool.h) whose lanes loop over the
+//   queue. Each lane is a long-lived thread, so its tls_arena() (the
+//   per-thread scratch Arena the chunked codec paths allocate from) stays
+//   warm across requests — steady-state request processing performs no
+//   system allocations inside the pipeline. Chunk-granular work inside one
+//   request runs on the library's chunk loop (ServerConfig::
+//   threads_per_request OpenMP threads) and the SPECK coders' deterministic
+//   intra-chunk lanes (ServerConfig::intra_chunk_threads, also TaskPool-
+//   backed), so a single large request can still use the whole machine.
+//
+// Connections are handled strictly request-reply: the reader dispatches one
+// frame, blocks for the worker's reply, writes it, then reads the next
+// frame. Replies on one connection therefore always arrive in request
+// order; concurrency comes from multiple connections.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace sperr::server {
+
+struct ServerConfig {
+  /// TCP port to bind on 127.0.0.1 (0 = pick an ephemeral port; read it
+  /// back with Server::port()).
+  uint16_t port = 0;
+
+  /// Worker-pool lanes processing requests concurrently (>= 1).
+  int workers = 2;
+
+  /// Bounded request queue high-water mark: requests arriving when this
+  /// many jobs are already waiting are rejected with BUSY.
+  size_t queue_capacity = 64;
+
+  /// OpenMP threads for the chunk loop inside one request (0 = runtime
+  /// default). Keep at 1 when `workers` already covers the cores:
+  /// cross-request parallelism beats intra-request parallelism under load.
+  int threads_per_request = 1;
+
+  /// Deterministic SPECK lanes per chunk (sperr::Config::intra_chunk_threads;
+  /// streams are byte-identical at every setting).
+  int intra_chunk_threads = 1;
+
+  /// Frames advertising a larger body are rejected (bad_request) and the
+  /// connection closed.
+  size_t max_body_bytes = kDefaultMaxBodyBytes;
+
+  /// Test hook, called by a worker at the start of processing each job with
+  /// the job's opcode. Lets tests hold a worker on a latch to make queue
+  /// overflow deterministic. Not used in production.
+  std::function<void(uint8_t)> process_hook;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();  // stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the acceptor + worker pool. Returns
+  /// invalid_argument when the port cannot be bound.
+  Status start();
+
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, drain every admitted job, answer
+  /// it, then close all connections and join every thread. Idempotent.
+  void stop();
+
+  /// Counter snapshot with the live fields (uptime, queue depth, workers)
+  /// filled in — the same data a STATS request returns.
+  [[nodiscard]] StatsSnapshot stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sperr::server

@@ -48,8 +48,9 @@ import sys
 
 # Metric classification. Key order in REPORT lines follows the record.
 BOOL_KEYS = ("round_trip_ok", "bit_identical", "parallel_bit_identical",
-             "recovery_ok")
-RATE_SUFFIXES = ("_mbps", "_mvox_s")  # higher better, dims-gated
+             "recovery_ok", "responses_identical", "backpressure_ok",
+             "traffic_ok")
+RATE_SUFFIXES = ("_mbps", "_mvox_s", "_per_s")  # higher better, dims-gated
 SMALL_RATIO_KEYS = ("tolerant_overhead", "verify_vs_decode")  # lower better
 SMALL_RATIO_SLACK = 0.02
 # (compressed, divisor) pairs that define derived compression ratios.

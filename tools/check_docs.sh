@@ -5,7 +5,9 @@
 #      file or directory that exists;
 #   2. every `src/...` (also docs/, tools/, bench/, tests/, scripts/) path
 #      README.md or docs/*.md names in backticks exists on disk, so the
-#      architecture table cannot drift from the tree.
+#      architecture table cannot drift from the tree;
+#   3. docs/PROTOCOL.md carries exactly one machine-readable conformance
+#      block (the hexdump tests/test_server.cpp replays verbatim).
 # External (http/https/mailto) links are not fetched: CI must not depend on
 # network reachability.
 
@@ -55,6 +57,27 @@ for f in "$ROOT"/README.md "$ROOT"/docs/*.md; do
     fi
   done < <(grep -o '`\(src\|docs\|tools\|bench\|tests\|scripts\)/[^` ]*`' "$f")
 done
+
+# --- 3. PROTOCOL.md conformance block ----------------------------------------
+proto="$ROOT/docs/PROTOCOL.md"
+if [ ! -f "$proto" ]; then
+  echo "MISSING: docs/PROTOCOL.md"
+  fail=1
+else
+  begins=$(grep -c 'conformance:begin' "$proto")
+  ends=$(grep -c 'conformance:end' "$proto")
+  if [ "$begins" -ne 1 ] || [ "$ends" -ne 1 ]; then
+    echo "CONFORMANCE BLOCK: expected exactly one begin/end marker pair" \
+         "in docs/PROTOCOL.md (got $begins begin, $ends end)"
+    fail=1
+  elif ! sed -n '/conformance:begin/,/conformance:end/p' "$proto" \
+      | grep -q '^>> ' \
+      || ! sed -n '/conformance:begin/,/conformance:end/p' "$proto" \
+      | grep -q '^<< '; then
+    echo "CONFORMANCE BLOCK: docs/PROTOCOL.md block has no >>/<< hexdump lines"
+    fail=1
+  fi
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED"

@@ -1,0 +1,137 @@
+// sperr_serve — long-lived TCP compression server over the SPERR library.
+//
+//   sperr_serve [--port P] [--workers N] [--queue-depth Q]
+//               [--request-threads N] [--intra-threads N]
+//               [--max-body-mb M] [--quiet]
+//
+// Binds 127.0.0.1:P (P = 0 picks an ephemeral port) and speaks the
+// length-prefixed binary protocol specified in docs/PROTOCOL.md (COMPRESS /
+// DECOMPRESS / VERIFY / EXTRACT_CHUNK / STATS). Prints one "listening on"
+// line to stdout once ready — scripts and the CI smoke job parse the port
+// from it — then serves until SIGINT/SIGTERM, drains every admitted
+// request, prints a final metrics summary, and exits 0.
+//
+// Tuning guidance lives in docs/OPERATIONS.md. Exit codes follow the
+// sperr_cc contract: 0 clean shutdown, 1 I/O (bind) failure, 2 usage error.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/threadpool.h"
+#include "server/server.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sperr_serve [--port P] [--workers N] [--queue-depth Q]\n"
+               "              [--request-threads N] [--intra-threads N]\n"
+               "              [--max-body-mb M] [--quiet]\n"
+               "\n"
+               "  --port P             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+               "  --workers N          request-processing lanes (default 0 = one per core)\n"
+               "  --queue-depth Q      bounded-queue high-water mark (default 64)\n"
+               "  --request-threads N  OpenMP chunk threads inside one request (default 1)\n"
+               "  --intra-threads N    deterministic SPECK lanes per chunk (default 1)\n"
+               "  --max-body-mb M      reject frames with bodies over M MiB (default 1024)\n"
+               "  --quiet              only the listening line and fatal errors\n");
+  std::exit(2);
+}
+
+long parse_long(const char* v, const char* what) {
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') usage(what);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sperr::server::ServerConfig cfg;
+  cfg.workers = 0;  // resolved below: one lane per core
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (++i >= argc) usage(what);
+      return argv[i];
+    };
+    if (a == "--port") {
+      const long p = parse_long(next("--port needs a number"), "--port needs a number");
+      if (p < 0 || p > 65535) usage("--port must be in [0, 65535]");
+      cfg.port = uint16_t(p);
+    } else if (a == "--workers") {
+      cfg.workers = int(parse_long(next("--workers needs a count"), "--workers needs a count"));
+    } else if (a == "--queue-depth") {
+      const long q = parse_long(next("--queue-depth needs a count"), "--queue-depth needs a count");
+      if (q < 1) usage("--queue-depth must be >= 1");
+      cfg.queue_capacity = size_t(q);
+    } else if (a == "--request-threads") {
+      cfg.threads_per_request =
+          int(parse_long(next("--request-threads needs a count"), "--request-threads needs a count"));
+    } else if (a == "--intra-threads") {
+      cfg.intra_chunk_threads =
+          int(parse_long(next("--intra-threads needs a count"), "--intra-threads needs a count"));
+    } else if (a == "--max-body-mb") {
+      const long m = parse_long(next("--max-body-mb needs a size"), "--max-body-mb needs a size");
+      if (m < 1) usage("--max-body-mb must be >= 1");
+      cfg.max_body_bytes = size_t(m) << 20;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      usage(("unknown option " + a).c_str());
+    }
+  }
+  cfg.workers = sperr::resolve_thread_count(cfg.workers);
+
+  // Block the shutdown signals before any thread exists so every server
+  // thread inherits the mask and only main's sigwait consumes them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  sperr::server::Server server(cfg);
+  if (server.start() != sperr::Status::ok) {
+    std::fprintf(stderr, "error: cannot bind 127.0.0.1:%u\n", unsigned(cfg.port));
+    return 1;
+  }
+  std::printf("sperr_serve: listening on 127.0.0.1:%u (workers %d, queue %zu)\n",
+              unsigned(server.port()), cfg.workers, cfg.queue_capacity);
+  std::fflush(stdout);  // scripts parse the port from this line
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  if (!quiet)
+    std::printf("sperr_serve: %s, draining and shutting down\n",
+                sig == SIGINT ? "SIGINT" : "SIGTERM");
+  server.stop();
+
+  if (!quiet) {
+    const auto s = server.stats();
+    std::printf(
+        "sperr_serve: served %llu request(s) in %.1fs "
+        "(%llu compress, %llu decompress, %llu verify, %llu extract, %llu stats)\n"
+        "sperr_serve: %llu busy rejection(s), %llu error repl(y/ies), "
+        "%.1f MB in, %.1f MB out, mean queue wait %.2f ms\n",
+        static_cast<unsigned long long>(s.requests_total), s.uptime_seconds,
+        static_cast<unsigned long long>(s.compress_count),
+        static_cast<unsigned long long>(s.decompress_count),
+        static_cast<unsigned long long>(s.verify_count),
+        static_cast<unsigned long long>(s.extract_count),
+        static_cast<unsigned long long>(s.stats_count),
+        static_cast<unsigned long long>(s.rejected_busy),
+        static_cast<unsigned long long>(s.errors), double(s.bytes_in) / 1e6,
+        double(s.bytes_out) / 1e6,
+        s.requests_total ? s.queue_wait_seconds / double(s.requests_total) * 1e3
+                         : 0.0);
+  }
+  return 0;
+}
