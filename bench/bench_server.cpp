@@ -17,12 +17,23 @@
 //      next request is rejected with BUSY while every admitted request is
 //      still answered after release — the bounded-queue contract of
 //      docs/PROTOCOL.md, made deterministic via ServerConfig::process_hook.
+//   4. Hardening: dedicated in-process servers with tight limits assert the
+//      degraded-conditions contracts — a stalled 23-byte header connection
+//      is reaped by the idle/IO deadline while other clients keep working
+//      (timeouts_read_ok), a request outliving --request-deadline-ms is
+//      answered DEADLINE_EXCEEDED (timeouts_request_ok), and a connection
+//      past --max-conns gets one unsolicited BUSY and a close
+//      (conns_rejected_ok).
 //
 // Without --port the traffic phases run against an in-process Server;
 // with --port they target an already-running sperr_serve (the CI smoke job
-// does this) while phase 3 stays in-process. Writes a BENCH_server.json
-// record (--json) gated by tools/check_bench.py; exits 2 on any
-// correctness failure so CI notices without parsing JSON.
+// does this) while phases 3-4 stay in-process. All wire traffic goes
+// through the retrying Client (server/client.h): connects retry with
+// backoff under a budget (no ephemeral-port race against a just-started
+// server) and every operation carries a transport deadline, so a server
+// that dies mid-run surfaces as exit 2 rather than a hang. Writes a
+// BENCH_server.json record (--json) gated by tools/check_bench.py; exits 2
+// on any correctness failure so CI notices without parsing JSON.
 
 #include <algorithm>
 #include <atomic>
@@ -35,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/byteio.h"
@@ -42,6 +54,8 @@
 #include "common/timer.h"
 #include "common/types.h"
 #include "data/synthetic.h"
+#include "server/client.h"
+#include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "sperr/sperr.h"
@@ -92,52 +106,57 @@ struct Workload {
   }
 };
 
-struct Client {
+/// Raw blocking connection for the phases that speak the wire directly
+/// (backpressure, hardening): those assert on exact frames, not outcomes.
+struct RawConn {
   int fd = -1;
-  explicit Client(uint16_t port) : fd(connect_loopback(port)) {}
-  ~Client() {
+  explicit RawConn(uint16_t port) : fd(connect_loopback(port)) {}
+  ~RawConn() {
     if (fd >= 0) ::close(fd);
   }
-  Client(const Client&) = delete;
-  Client& operator=(const Client&) = delete;
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
 };
+
+/// Retrying-client settings shared by the probe and traffic phases.
+ClientConfig client_config(uint16_t port, uint64_t seed) {
+  ClientConfig cc;
+  cc.port = port;
+  cc.connect_budget_ms = 10'000;  // rides out the ephemeral-port race
+  cc.op_timeout_ms = 60'000;      // a dead server fails the call, never hangs
+  cc.max_attempts = 3;
+  cc.seed = seed;
+  return cc;
+}
 
 // --- phase 1: identity probes ----------------------------------------------
 
-bool check_identity(uint16_t port, const Workload& w) {
-  Client c(port);
-  if (c.fd < 0) {
-    std::fprintf(stderr, "bench_server: cannot connect to port %u\n", port);
-    return false;
-  }
-  FrameHeader h;
-  std::vector<uint8_t> reply;
+bool check_identity(Client& c, const Workload& w) {
   bool ok = true;
 
   // COMPRESS must reproduce the direct container byte-for-byte.
-  if (!roundtrip(c.fd, Opcode::compress, 1,
-                 build_compress_body(w.cfg, w.dims, w.field.data()), h, reply) ||
-      h.code != uint8_t(WireStatus::ok) || reply != w.container) {
+  CallResult r = c.call(Opcode::compress,
+                        build_compress_body(w.cfg, w.dims, w.field.data()));
+  if (!r.ok || r.status != WireStatus::ok || r.body != w.container) {
     std::fprintf(stderr, "bench_server: COMPRESS reply differs from direct call\n");
     ok = false;
   }
 
   // DECOMPRESS must reproduce the direct decode (dims header + f64 samples).
-  if (!roundtrip(c.fd, Opcode::decompress, 2,
-                 build_decompress_body(0, 8, w.container.data(), w.container.size()),
-                 h, reply) ||
-      h.code != uint8_t(WireStatus::ok) ||
-      reply.size() != 24 + w.decoded.size() * 8 ||
-      std::memcmp(reply.data() + 24, w.decoded.data(), w.decoded.size() * 8) != 0) {
+  r = c.call(Opcode::decompress,
+             build_decompress_body(0, 8, w.container.data(), w.container.size()));
+  if (!r.ok || r.status != WireStatus::ok ||
+      r.body.size() != 24 + w.decoded.size() * 8 ||
+      std::memcmp(r.body.data() + 24, w.decoded.data(), w.decoded.size() * 8) != 0) {
     std::fprintf(stderr, "bench_server: DECOMPRESS reply differs from direct call\n");
     ok = false;
   }
 
   // VERIFY must report a clean container with the expected chunk count.
-  if (!roundtrip(c.fd, Opcode::verify, 3, w.container, h, reply) ||
-      h.code != uint8_t(WireStatus::ok) ||
-      reply.size() != kVerifyReplyHeaderBytes + w.nchunks * kVerifyChunkRecordBytes ||
-      reply[1] != 1) {
+  r = c.call(Opcode::verify, w.container);
+  if (!r.ok || r.status != WireStatus::ok ||
+      r.body.size() != kVerifyReplyHeaderBytes + w.nchunks * kVerifyChunkRecordBytes ||
+      r.body[1] != 1) {
     std::fprintf(stderr, "bench_server: VERIFY did not report a clean container\n");
     ok = false;
   }
@@ -145,14 +164,14 @@ bool check_identity(uint16_t port, const Workload& w) {
   // Every EXTRACT_CHUNK must equal the matching region of the full decode
   // (a chunk decodes to exactly the same doubles either way).
   for (uint32_t k = 0; ok && k < w.nchunks; ++k) {
-    if (!roundtrip(c.fd, Opcode::extract_chunk, 100 + k,
-                   build_extract_body(k, w.container.data(), w.container.size()),
-                   h, reply) ||
-        h.code != uint8_t(WireStatus::ok) || reply.size() < 48) {
+    r = c.call(Opcode::extract_chunk,
+               build_extract_body(k, w.container.data(), w.container.size()));
+    if (!r.ok || r.status != WireStatus::ok || r.body.size() < 48) {
       std::fprintf(stderr, "bench_server: EXTRACT_CHUNK %u failed\n", k);
       ok = false;
       break;
     }
+    const std::vector<uint8_t>& reply = r.body;
     sperr::ByteReader br(reply.data(), reply.size());
     const Dims origin{size_t(br.u64()), size_t(br.u64()), size_t(br.u64())};
     const Dims cdims{size_t(br.u64()), size_t(br.u64()), size_t(br.u64())};
@@ -183,6 +202,7 @@ struct TrafficResult {
   uint64_t requests = 0;
   uint64_t busy = 0;
   uint64_t errors = 0;
+  uint64_t retries = 0;     // retrying-client extra attempts
   uint64_t bytes_up = 0;    // request bodies sent
   uint64_t bytes_down = 0;  // reply bodies received
   double wall_s = 0.0;
@@ -204,18 +224,9 @@ TrafficResult run_traffic(uint16_t port, const Workload& w, int clients,
   for (int cidx = 0; cidx < clients; ++cidx) {
     threads.emplace_back([&, cidx] {
       TrafficResult local;
-      Client c(port);
-      if (c.fd < 0) {
-        local.errors = uint64_t(per_client);
-        std::lock_guard<std::mutex> lk(merge_mu);
-        total.errors += local.errors;
-        return;
-      }
-      FrameHeader h;
-      std::vector<uint8_t> reply;
+      Client c(client_config(port, 0xbe4c0 + uint64_t(cidx)));
       sperr::Timer timer;
       for (int i = 0; i < per_client; ++i) {
-        const uint64_t id = uint64_t(cidx) * 100000 + uint64_t(i);
         // 1:2:1:1 compress:decompress-ish mix; compress dominates cost, so
         // it appears once per five requests.
         const int kind = i % 5;
@@ -235,23 +246,28 @@ TrafficResult run_traffic(uint16_t port, const Workload& w, int clients,
           default: break;  // stats
         }
         timer.reset();
-        if (!roundtrip(c.fd, op, id, *body, h, reply)) {
+        const CallResult res = c.call(op, *body);
+        if (!res.ok) {
+          // Transport failure that survived the retry policy: the server
+          // is gone or wedged. Stop this client; main exits 2.
           ++local.errors;
-          break;  // transport broken: stop this client
+          break;
         }
         local.latencies_ms.push_back(timer.seconds() * 1e3);
         ++local.requests;
         local.bytes_up += body->size();
-        local.bytes_down += reply.size();
-        if (h.code == uint8_t(WireStatus::busy))
+        local.bytes_down += res.body.size();
+        if (res.status == WireStatus::busy)
           ++local.busy;
-        else if (h.code != uint8_t(WireStatus::ok))
+        else if (res.status != WireStatus::ok)
           ++local.errors;
       }
+      local.retries = c.stats().retries;
       std::lock_guard<std::mutex> lk(merge_mu);
       total.requests += local.requests;
       total.busy += local.busy;
       total.errors += local.errors;
+      total.retries += local.retries;
       total.bytes_up += local.bytes_up;
       total.bytes_down += local.bytes_down;
       total.latencies_ms.insert(total.latencies_ms.end(),
@@ -294,7 +310,7 @@ bool check_backpressure() {
 
   const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};  // VERIFY -> corrupt
   auto ask = [&](uint64_t id, uint8_t& status) {
-    Client c(srv.port());
+    RawConn c(srv.port());
     FrameHeader h;
     std::vector<uint8_t> reply;
     if (c.fd < 0 || !roundtrip(c.fd, Opcode::verify, id, junk, h, reply))
@@ -332,6 +348,120 @@ bool check_backpressure() {
                  "(status a=%u b=%u c=%u, transport %d/%d/%d)\n",
                  st_a, st_b, st_c, ok_a, ok_b, ok_c);
   return ok;
+}
+
+// --- phase 4: degraded-conditions hardening ---------------------------------
+
+struct HardeningResult {
+  bool timeouts_read_ok = false;
+  bool timeouts_request_ok = false;
+  bool conns_rejected_ok = false;
+};
+
+/// STATS over a raw connection, parsed into a snapshot.
+bool fetch_stats(int fd, uint64_t id, StatsSnapshot& snap) {
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  return roundtrip(fd, Opcode::stats, id, {}, h, reply) &&
+         h.code == uint8_t(WireStatus::ok) &&
+         StatsSnapshot::parse(reply.data(), reply.size(), snap);
+}
+
+HardeningResult check_hardening() {
+  HardeningResult r;
+
+  // (a) A connection that sends 23 of 24 header bytes and stalls must be
+  //     reaped by the I/O deadline — while a well-behaved client on
+  //     another connection keeps getting answers.
+  {
+    ServerConfig sc;
+    sc.workers = 1;
+    sc.io_timeout_ms = 200;
+    sc.idle_timeout_ms = 2000;
+    Server srv(sc);
+    if (srv.start() != sperr::Status::ok) return r;
+    RawConn stall(srv.port());
+    std::vector<uint8_t> header;
+    put_frame_header(header, kRequestMagic, uint8_t(Opcode::stats), 7, 0);
+    bool ok = stall.fd >= 0 && write_all(stall.fd, header.data(), 23);
+    RawConn good(srv.port());
+    StatsSnapshot snap;
+    ok = ok && good.fd >= 0 && fetch_stats(good.fd, 1, snap);
+    sperr::Timer guard;
+    while (ok && guard.seconds() < 10.0) {
+      if (!fetch_stats(good.fd, 2, snap)) {
+        ok = false;
+        break;
+      }
+      if (snap.timeouts_read >= 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // The stalled connection is gone, the good one still answers.
+    ok = ok && snap.timeouts_read >= 1 && fetch_stats(good.fd, 3, snap) &&
+         snap.active_connections == 1;
+    srv.stop();
+    r.timeouts_read_ok = ok;
+    if (!ok) std::fprintf(stderr, "bench_server: stalled-header reap failed\n");
+  }
+
+  // (b) A request that outlives the compute deadline is answered
+  //     DEADLINE_EXCEEDED promptly instead of pinning the connection.
+  {
+    ServerConfig sc;
+    sc.workers = 1;
+    sc.request_deadline_ms = 100;
+    sc.process_hook = [](uint8_t opcode) {
+      if (Opcode(opcode) == Opcode::verify)
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    };
+    Server srv(sc);
+    if (srv.start() != sperr::Status::ok) return r;
+    RawConn c(srv.port());
+    const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+    FrameHeader h;
+    std::vector<uint8_t> reply;
+    bool ok = c.fd >= 0 && roundtrip(c.fd, Opcode::verify, 9, junk, h, reply) &&
+              h.code == uint8_t(WireStatus::deadline_exceeded);
+    // The lone worker is still inside the hook; let it drain so the STATS
+    // probe below is answered inside its own deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    StatsSnapshot snap;
+    ok = ok && fetch_stats(c.fd, 10, snap) && snap.timeouts_request >= 1;
+    srv.stop();
+    r.timeouts_request_ok = ok;
+    if (!ok) std::fprintf(stderr, "bench_server: request deadline failed\n");
+  }
+
+  // (c) Past --max-conns, a new connection gets exactly one unsolicited
+  //     BUSY (request id 0) and a close; the capped connection count shows
+  //     up in conns_rejected.
+  {
+    ServerConfig sc;
+    sc.workers = 1;
+    sc.max_connections = 1;
+    Server srv(sc);
+    if (srv.start() != sperr::Status::ok) return r;
+    RawConn a(srv.port());
+    StatsSnapshot snap;
+    bool ok = a.fd >= 0 && fetch_stats(a.fd, 1, snap);  // a is registered now
+    RawConn b(srv.port());
+    uint8_t raw[kFrameHeaderBytes];
+    ok = ok && b.fd >= 0 && read_exact(b.fd, raw, sizeof raw);
+    if (ok) {
+      const FrameHeader h = parse_frame_header(raw);
+      ok = h.magic == kReplyMagic && h.code == uint8_t(WireStatus::busy) &&
+           h.request_id == 0 && h.body_len == 0;
+      // ... followed by EOF, not more frames.
+      char extra;
+      ok = ok && ::recv(b.fd, &extra, 1, 0) == 0;
+    }
+    ok = ok && fetch_stats(a.fd, 2, snap) && snap.conns_rejected >= 1 &&
+         snap.active_connections == 1;
+    srv.stop();
+    r.conns_rejected_ok = ok;
+    if (!ok) std::fprintf(stderr, "bench_server: connection cap failed\n");
+  }
+  return r;
 }
 
 }  // namespace
@@ -389,7 +519,11 @@ int main(int argc, char** argv) {
     port = local->port();
   }
 
-  const bool identical = check_identity(port, w);
+  bool identical = false;
+  {
+    Client probe(client_config(port, 0x1de47ULL));
+    identical = check_identity(probe, w);
+  }
   std::printf("bench_server: identity probes %s\n", identical ? "ok" : "FAILED");
 
   const TrafficResult t = run_traffic(port, w, opt.clients, opt.per_client);
@@ -409,9 +543,17 @@ int main(int argc, char** argv) {
   std::printf("bench_server: backpressure contract %s\n",
               backpressure_ok ? "ok" : "FAILED");
 
+  const HardeningResult hr = check_hardening();
+  std::printf(
+      "bench_server: hardening checks: stalled-header reap %s, "
+      "request deadline %s, connection cap %s\n",
+      hr.timeouts_read_ok ? "ok" : "FAILED",
+      hr.timeouts_request_ok ? "ok" : "FAILED",
+      hr.conns_rejected_ok ? "ok" : "FAILED");
+
   const bool traffic_ok = t.errors == 0 && t.requests > 0;
 
-  char buf[1024];
+  char buf[2048];
   std::snprintf(buf, sizeof buf,
                 "{\n"
                 "  \"benchmark\": \"server\",\n"
@@ -426,10 +568,14 @@ int main(int argc, char** argv) {
                 "  \"p99_ms\": %.3f,\n"
                 "  \"busy_replies\": %llu,\n"
                 "  \"request_errors\": %llu,\n"
+                "  \"client_retries\": %llu,\n"
                 "  \"mb_up\": %.2f,\n"
                 "  \"mb_down\": %.2f,\n"
                 "  \"responses_identical\": %s,\n"
                 "  \"backpressure_ok\": %s,\n"
+                "  \"timeouts_read_ok\": %s,\n"
+                "  \"timeouts_request_ok\": %s,\n"
+                "  \"conns_rejected_ok\": %s,\n"
                 "  \"traffic_ok\": %s\n"
                 "}\n",
                 w.dims.x, w.dims.y, w.dims.z, opt.clients, workers,
@@ -437,13 +583,20 @@ int main(int argc, char** argv) {
                 t.wall_s, rps, p50, p99,
                 static_cast<unsigned long long>(t.busy),
                 static_cast<unsigned long long>(t.errors),
+                static_cast<unsigned long long>(t.retries),
                 double(t.bytes_up) / 1e6, double(t.bytes_down) / 1e6,
                 identical ? "true" : "false", backpressure_ok ? "true" : "false",
+                hr.timeouts_read_ok ? "true" : "false",
+                hr.timeouts_request_ok ? "true" : "false",
+                hr.conns_rejected_ok ? "true" : "false",
                 traffic_ok ? "true" : "false");
   std::printf("%s", buf);
   if (!opt.json.empty()) {
     std::ofstream out(opt.json);
     out << buf;
   }
-  return (identical && backpressure_ok && traffic_ok) ? 0 : 2;
+  return (identical && backpressure_ok && hr.timeouts_read_ok &&
+          hr.timeouts_request_ok && hr.conns_rejected_ok && traffic_ok)
+             ? 0
+             : 2;
 }

@@ -20,7 +20,7 @@
 namespace sperr::server {
 
 /// One coherent copy of every counter; the wire layout of the STATS reply
-/// body (168 bytes, docs/PROTOCOL.md) serializes exactly these fields.
+/// body (216 bytes, docs/PROTOCOL.md) serializes exactly these fields.
 struct StatsSnapshot {
   double uptime_seconds = 0.0;  ///< since Server::start()
   uint64_t requests_total = 0;  ///< completed requests (all opcodes, incl. error replies)
@@ -44,11 +44,18 @@ struct StatsSnapshot {
   double locate_seconds = 0.0;
   double outlier_seconds = 0.0;
   double lossless_seconds = 0.0;
+  // Hardening counters (appended fields; the layout above never reorders).
+  uint64_t conns_total = 0;         ///< connections accepted since start
+  uint64_t active_connections = 0;  ///< live connections at snapshot time
+  uint64_t conns_rejected = 0;      ///< closed at the --max-conns cap (unsolicited BUSY)
+  uint64_t timeouts_read = 0;       ///< connections reaped by the idle/read deadline
+  uint64_t timeouts_write = 0;      ///< connections reaped by the write deadline
+  uint64_t timeouts_request = 0;    ///< requests answered deadline_exceeded
 
-  /// Serialize as the STATS reply body (docs/PROTOCOL.md layout, 168 bytes).
+  /// Serialize as the STATS reply body (docs/PROTOCOL.md layout, 216 bytes).
   [[nodiscard]] std::vector<uint8_t> serialize() const {
     std::vector<uint8_t> out;
-    out.reserve(168);
+    out.reserve(216);
     put_f64(out, uptime_seconds);
     put_u64(out, requests_total);
     put_u64(out, compress_count);
@@ -70,13 +77,21 @@ struct StatsSnapshot {
     put_f64(out, locate_seconds);
     put_f64(out, outlier_seconds);
     put_f64(out, lossless_seconds);
+    put_u64(out, conns_total);
+    put_u64(out, active_connections);
+    put_u64(out, conns_rejected);
+    put_u64(out, timeouts_read);
+    put_u64(out, timeouts_write);
+    put_u64(out, timeouts_request);
     return out;
   }
 
-  /// Parse a STATS reply body (client side). Returns false on a size or
-  /// framing mismatch.
+  /// Parse a STATS reply body (client side). Accepts the 168-byte
+  /// pre-hardening prefix (extension counters read as zero) and any body
+  /// that at least covers the current 216-byte layout — the growth rule in
+  /// docs/PROTOCOL.md appends, never reorders. Returns false otherwise.
   static bool parse(const uint8_t* body, size_t size, StatsSnapshot& out) {
-    if (size != 168) return false;
+    if (size != 168 && size < 216) return false;
     ByteReader br(body, size);
     out.uptime_seconds = br.f64();
     out.requests_total = br.u64();
@@ -99,6 +114,14 @@ struct StatsSnapshot {
     out.locate_seconds = br.f64();
     out.outlier_seconds = br.f64();
     out.lossless_seconds = br.f64();
+    if (size >= 216) {
+      out.conns_total = br.u64();
+      out.active_connections = br.u64();
+      out.conns_rejected = br.u64();
+      out.timeouts_read = br.u64();
+      out.timeouts_write = br.u64();
+      out.timeouts_request = br.u64();
+    }
     return br.ok();
   }
 };
@@ -114,6 +137,31 @@ class Metrics {
   void count_busy() {
     std::lock_guard<std::mutex> lk(mu_);
     ++s_.rejected_busy;
+  }
+
+  void count_conn_open() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.conns_total;
+  }
+
+  void count_conn_rejected() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.conns_rejected;
+  }
+
+  void count_timeout_read() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.timeouts_read;
+  }
+
+  void count_timeout_write() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.timeouts_write;
+  }
+
+  void count_timeout_request() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.timeouts_request;
   }
 
   /// Record one completed request: its opcode slot, reply verdict, reply

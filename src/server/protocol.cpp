@@ -6,10 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+#include <poll.h>
+
 #include <cerrno>
 #include <cstring>
 
 #include "common/byteio.h"
+#include "common/timer.h"
 
 namespace sperr::server {
 
@@ -85,6 +89,130 @@ bool recv_frame(int fd, FrameHeader& hdr, std::vector<uint8_t>& body,
   body.resize(size_t(hdr.body_len));
   if (hdr.body_len > 0 && !read_exact(fd, body.data(), body.size())) return false;
   return true;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+namespace {
+
+/// Wait for `events` on `fd` with at most `remain_ms` (< 0 = forever),
+/// EINTR-safe. Returns > 0 when ready, 0 on poll timeout, < 0 on error.
+int poll_wait(int fd, short events, int remain_ms) {
+  sperr::Timer waited;
+  for (;;) {
+    int budget = remain_ms;
+    if (remain_ms >= 0) {
+      budget = remain_ms - int(waited.milliseconds());
+      if (budget < 0) budget = 0;
+    }
+    pollfd pf{fd, events, 0};
+    const int r = ::poll(&pf, 1, budget);
+    if (r >= 0) return r;
+    if (errno != EINTR) return -1;
+    // EINTR: loop with the remaining budget.
+  }
+}
+
+}  // namespace
+
+IoOutcome read_exact_deadline(int fd, void* buf, size_t n, int timeout_ms,
+                              int first_byte_timeout_ms) {
+  char* p = static_cast<char*>(buf);
+  bool first = true;
+  sperr::Timer budget;  // reset when the first byte arrives
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got > 0) {
+      if (first) {
+        first = false;
+        budget.reset();  // idle wait over: the rest gets a fresh I/O budget
+      }
+      p += got;
+      n -= size_t(got);
+      continue;
+    }
+    if (got == 0) return IoOutcome::closed;
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return IoOutcome::failed;
+    const int limit =
+        (first && first_byte_timeout_ms >= 0) ? first_byte_timeout_ms : timeout_ms;
+    int remain = -1;
+    if (limit >= 0) {
+      remain = limit - int(budget.milliseconds());
+      if (remain <= 0) return IoOutcome::timed_out;
+    }
+    const int pr = poll_wait(fd, POLLIN, remain);
+    if (pr < 0) return IoOutcome::failed;
+    if (pr == 0 && limit >= 0 && budget.milliseconds() >= double(limit))
+      return IoOutcome::timed_out;
+    // Ready (or spurious wakeup): recv again; it reports EOF/errors itself.
+  }
+  return IoOutcome::ok;
+}
+
+IoOutcome write_all_deadline(int fd, const void* buf, size_t n, int timeout_ms) {
+  const char* p = static_cast<const char*>(buf);
+  sperr::Timer budget;
+  while (n > 0) {
+    const ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (put > 0) {
+      p += put;
+      n -= size_t(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
+      return IoOutcome::failed;
+    int remain = -1;
+    if (timeout_ms >= 0) {
+      remain = timeout_ms - int(budget.milliseconds());
+      if (remain <= 0) return IoOutcome::timed_out;
+    }
+    const int pr = poll_wait(fd, POLLOUT, remain);
+    if (pr < 0) return IoOutcome::failed;
+    if (pr == 0 && timeout_ms >= 0 && budget.milliseconds() >= double(timeout_ms))
+      return IoOutcome::timed_out;
+  }
+  return IoOutcome::ok;
+}
+
+int connect_loopback_deadline(uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!set_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    if (poll_wait(fd, POLLOUT, timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
 }
 
 int connect_loopback(uint16_t port) {

@@ -59,6 +59,7 @@ enum class WireStatus : uint8_t {
   verify_failed = 4,        ///< self-verification (PWE bound / round trip) failed
   busy = 5,                 ///< bounded request queue past its high-water mark
   unsupported_version = 6,  ///< frame's protocol version is not spoken here
+  deadline_exceeded = 7,    ///< request missed its compute deadline; work abandoned
 };
 
 [[nodiscard]] constexpr const char* to_string(WireStatus s) {
@@ -70,8 +71,17 @@ enum class WireStatus : uint8_t {
     case WireStatus::verify_failed: return "verify_failed";
     case WireStatus::busy: return "busy";
     case WireStatus::unsupported_version: return "unsupported_version";
+    case WireStatus::deadline_exceeded: return "deadline_exceeded";
   }
   return "unknown";
+}
+
+/// Statuses a client may retry automatically (after backoff): the server
+/// refused or abandoned the work without side effects visible on the wire.
+/// Everything else is deterministic — retrying bad_request or corrupt just
+/// repeats the answer.
+[[nodiscard]] constexpr bool is_retryable(WireStatus s) {
+  return s == WireStatus::busy || s == WireStatus::deadline_exceeded;
 }
 
 /// A decoded frame header (request or reply; `code` is the opcode or the
@@ -125,7 +135,10 @@ inline constexpr size_t kVerifyReplyHeaderBytes = 12;
 inline constexpr size_t kVerifyChunkRecordBytes = 8;
 
 /// STATS reply body (fixed size, all fields listed in docs/PROTOCOL.md).
-inline constexpr size_t kStatsReplyBytes = 168;
+/// Grew from 168 bytes by appending the connection/timeout counters; the
+/// layout never reorders, so clients parse the prefix they know.
+inline constexpr size_t kStatsReplyBytes = 216;
+inline constexpr size_t kStatsReplyBytesV0 = 168;  ///< pre-hardening prefix
 
 // --- blocking socket I/O helpers (shared by server, bench, tests) -----------
 
@@ -134,6 +147,38 @@ bool read_exact(int fd, void* buf, size_t n);
 
 /// Write all `n` bytes; false on error.
 bool write_all(int fd, const void* buf, size_t n);
+
+// --- deadline-guarded socket I/O (server + retrying client) -----------------
+//
+// All deadline helpers require an O_NONBLOCK descriptor and poll() before
+// every recv/send, retrying EINTR with the remaining budget recomputed. The
+// deadline is an *overall* budget for the whole operation, not a
+// per-progress idle check — a slow-loris peer dripping one byte per poll
+// interval still gets reaped when the total budget runs out.
+
+enum class IoOutcome : uint8_t {
+  ok = 0,
+  timed_out = 1,  ///< the deadline expired before the operation finished
+  closed = 2,     ///< orderly EOF from the peer mid-operation
+  failed = 3,     ///< socket error (ECONNRESET, EPIPE, ...)
+};
+
+/// Put `fd` into non-blocking mode. Returns false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// Read exactly `n` bytes within `timeout_ms` (< 0 = no deadline). When
+/// `first_byte_timeout_ms` >= 0 the wait for the *first* byte uses that
+/// budget instead (idle timeout); once a byte arrives the remaining bytes
+/// must complete within a fresh `timeout_ms`.
+IoOutcome read_exact_deadline(int fd, void* buf, size_t n, int timeout_ms,
+                              int first_byte_timeout_ms = -1);
+
+/// Write all `n` bytes within `timeout_ms` (< 0 = no deadline).
+IoOutcome write_all_deadline(int fd, const void* buf, size_t n, int timeout_ms);
+
+/// Connect to 127.0.0.1:port within `timeout_ms`. The returned descriptor
+/// is non-blocking (use the deadline helpers on it); -1 on failure/timeout.
+int connect_loopback_deadline(uint16_t port, int timeout_ms);
 
 /// Write one frame (header + body) in a single buffer.
 bool send_frame(int fd, uint32_t magic, uint8_t code, uint64_t request_id,

@@ -59,6 +59,22 @@ class BoundedQueue {
     cv_.notify_all();
   }
 
+  /// Drain every remaining item through `fn` (bounded-shutdown path: the
+  /// server answers each leftover job DEADLINE_EXCEEDED instead of
+  /// processing it). Returns the number of items expired. Call after
+  /// stop(); racing pops simply see an empty queue.
+  template <class Fn>
+  size_t expire_all(Fn&& fn) {
+    std::deque<T> leftovers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      leftovers.swap(items_);
+    }
+    cv_.notify_all();
+    for (T& item : leftovers) fn(item);
+    return leftovers.size();
+  }
+
   [[nodiscard]] size_t depth() const {
     std::lock_guard<std::mutex> lk(mu_);
     return items_.size();

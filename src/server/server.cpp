@@ -3,13 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstring>
 #include <future>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/arena.h"
@@ -37,6 +41,10 @@ struct Job {
   uint64_t request_id = 0;
   std::vector<uint8_t> body;
   std::shared_ptr<std::promise<Reply>> promise;
+  /// Set by the reader when the request deadline expired before a worker
+  /// answered: the reader has already replied DEADLINE_EXCEEDED, so a
+  /// worker that dequeues this job skips the (now pointless) work.
+  std::shared_ptr<std::atomic<bool>> abandoned;
   Timer waited;  ///< started at admission; read at dequeue = queue wait
 };
 
@@ -69,13 +77,22 @@ struct Server::Impl {
   Timer started;
 
   int listen_fd = -1;
+  int wake_pipe[2] = {-1, -1};  // self-pipe: portable accept-loop wakeup
   std::thread acceptor;
   std::thread pool_driver;
   std::unique_ptr<TaskPool> pool;
 
-  std::mutex conn_mu;
-  std::unordered_set<int> conn_fds;             // live connection sockets
-  std::vector<std::thread> conn_threads;
+  // Reader-thread bookkeeping. Readers run detached from the acceptor's
+  // point of view but stay joinable: a reader exiting moves its own
+  // std::thread handle from conn_threads into zombie_threads (under
+  // conn_mu, so there is no window where the handle is unowned), and the
+  // acceptor/stop() join the parked handles. conn_cv fires whenever
+  // conn_threads shrinks, which is what stop() waits on.
+  mutable std::mutex conn_mu;
+  std::unordered_set<int> conn_fds;               // live connection sockets
+  std::unordered_map<int, std::thread> conn_threads;  // fd -> its reader
+  std::vector<std::thread> zombie_threads;        // exited readers, unjoined
+  std::condition_variable conn_cv;
   std::atomic<bool> stopping{false};
   bool stopped = false;  // stop() ran to completion (guarded by stop_mu)
   std::mutex stop_mu;
@@ -281,6 +298,10 @@ struct Server::Impl {
     s.queue_depth = queue.depth();
     s.queue_capacity = queue.capacity();
     s.workers = uint64_t(workers);
+    {
+      std::lock_guard<std::mutex> lk(conn_mu);
+      s.active_connections = conn_fds.size();
+    }
     return s;
   }
 
@@ -292,7 +313,15 @@ struct Server::Impl {
       const double wait_s = job.waited.seconds();
       if (cfg.process_hook) cfg.process_hook(job.opcode);
       Reply reply;
-      if (Opcode(job.opcode) == Opcode::stats) {
+      if (job.abandoned && job.abandoned->load()) {
+        // The reader already answered DEADLINE_EXCEEDED; skip the work.
+        // The lane counts the request (as an error, in its opcode slot) —
+        // the reader only counted timeouts_request, so nothing is counted
+        // twice.
+        metrics.count_request(job.opcode, /*error=*/true, /*bytes_out=*/0,
+                              wait_s, /*busy_s=*/0.0);
+        reply.status = WireStatus::deadline_exceeded;
+      } else if (Opcode(job.opcode) == Opcode::stats) {
         // Count this request *before* snapshotting so the reply includes
         // itself (the deterministic contract docs/PROTOCOL.md documents:
         // requests_total/stats_count include the request being answered;
@@ -322,18 +351,44 @@ struct Server::Impl {
 
   // --- connection handling (reader side) ------------------------------------
 
+  /// Write one reply frame under the connection's I/O deadline. A write
+  /// timeout is counted and, like any other write failure, closes the
+  /// connection (returns false).
+  bool send_reply(int fd, WireStatus status, uint64_t request_id,
+                  const uint8_t* body, size_t body_len) {
+    std::vector<uint8_t> frame;
+    frame.reserve(kFrameHeaderBytes + body_len);
+    put_frame_header(frame, kReplyMagic, uint8_t(status), request_id, body_len);
+    if (body_len > 0) frame.insert(frame.end(), body, body + body_len);
+    const IoOutcome w =
+        write_all_deadline(fd, frame.data(), frame.size(), cfg.io_timeout_ms);
+    if (w == IoOutcome::timed_out) metrics.count_timeout_write();
+    return w == IoOutcome::ok;
+  }
+
   /// Counted protocol-level rejection: reply `status` and record the frame
   /// as answered-with-error (no per-opcode slot: it never reached a worker).
   bool reject(int fd, uint64_t request_id, WireStatus status) {
     metrics.count_request(/*opcode=*/0, /*error=*/true, 0, 0.0, 0.0);
-    return send_frame(fd, kReplyMagic, uint8_t(status), request_id, nullptr, 0);
+    return send_reply(fd, status, request_id, nullptr, 0);
   }
 
   void serve_connection(int fd) {
     std::vector<uint8_t> body;
     for (;;) {
       uint8_t raw[kFrameHeaderBytes];
-      if (!read_exact(fd, raw, sizeof raw)) break;  // EOF / truncated header
+      // Waiting for the *first* header byte is the between-requests idle
+      // state and gets the (longer) idle budget; once a byte arrives the
+      // rest of the header must land within the I/O budget — a peer
+      // dripping 23 bytes and stalling is reaped, not parked forever.
+      const IoOutcome hr = read_exact_deadline(fd, raw, sizeof raw,
+                                               cfg.io_timeout_ms,
+                                               cfg.idle_timeout_ms);
+      if (hr == IoOutcome::timed_out) {
+        metrics.count_timeout_read();
+        break;
+      }
+      if (hr != IoOutcome::ok) break;  // EOF / reset / truncated header
       const FrameHeader h = parse_frame_header(raw);
       // Header-level violations close the connection: once framing is in
       // doubt (wrong magic, an unreadably large body) the byte stream
@@ -351,7 +406,15 @@ struct Server::Impl {
         break;
       }
       body.resize(size_t(h.body_len));
-      if (h.body_len > 0 && !read_exact(fd, body.data(), body.size())) break;
+      if (h.body_len > 0) {
+        const IoOutcome br2 =
+            read_exact_deadline(fd, body.data(), body.size(), cfg.io_timeout_ms);
+        if (br2 == IoOutcome::timed_out) {
+          metrics.count_timeout_read();
+          break;
+        }
+        if (br2 != IoOutcome::ok) break;
+      }
       metrics.count_bytes_in(h.body_len);
       // Frame-level violations with intact framing keep the connection.
       if (h.code < uint8_t(Opcode::compress) || h.code > uint8_t(Opcode::stats) ||
@@ -364,46 +427,113 @@ struct Server::Impl {
       job.request_id = h.request_id;
       job.body = std::move(body);
       job.promise = std::make_shared<std::promise<Reply>>();
+      job.abandoned = std::make_shared<std::atomic<bool>>(false);
       auto future = job.promise->get_future();
+      auto abandoned = job.abandoned;
       if (!queue.try_push(std::move(job))) {
         metrics.count_busy();
-        if (!send_frame(fd, kReplyMagic, uint8_t(WireStatus::busy), h.request_id,
-                        nullptr, 0))
-          break;
+        if (!send_reply(fd, WireStatus::busy, h.request_id, nullptr, 0)) break;
         body.clear();
         continue;
       }
-      const Reply reply = future.get();
-      if (!send_frame(fd, kReplyMagic, uint8_t(reply.status), h.request_id,
-                      reply.body.data(), reply.body.size()))
+      Reply reply;
+      if (cfg.request_deadline_ms > 0 &&
+          future.wait_for(std::chrono::milliseconds(cfg.request_deadline_ms)) ==
+              std::future_status::timeout) {
+        // Abandon the job: if a worker has not dequeued it yet it will be
+        // skipped; if one is mid-compute the result is discarded. Either
+        // way this connection answers now instead of pinning the lane's
+        // reply slot.
+        abandoned->store(true);
+        metrics.count_timeout_request();
+        reply.status = WireStatus::deadline_exceeded;
+      } else {
+        reply = future.get();
+      }
+      if (!send_reply(fd, reply.status, h.request_id, reply.body.data(),
+                      reply.body.size()))
         break;
       body.clear();
     }
     {
       // Deregister before closing so stop() can never shutdown() a
-      // recycled descriptor.
+      // recycled descriptor, and park this thread's own handle for the
+      // acceptor (or stop()) to join. conn_cv is notified under the lock:
+      // once stop() observes conn_threads empty, every exiting reader has
+      // already released conn_mu.
       std::lock_guard<std::mutex> lk(conn_mu);
       conn_fds.erase(fd);
+      auto it = conn_threads.find(fd);
+      if (it != conn_threads.end()) {
+        zombie_threads.push_back(std::move(it->second));
+        conn_threads.erase(it);
+      }
+      conn_cv.notify_all();
     }
     ::close(fd);
   }
 
+  /// Join reader handles parked by exited connections (never blocks long:
+  /// a parked handle's thread is past its serve loop).
+  void reap_zombies() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lk(conn_mu);
+      done.swap(zombie_threads);
+    }
+    for (std::thread& t : done) t.join();
+  }
+
   void accept_loop() {
     for (;;) {
+      reap_zombies();
+      pollfd pfds[2] = {{listen_fd, POLLIN, 0}, {wake_pipe[0], POLLIN, 0}};
+      const int pr = ::poll(pfds, 2, -1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (stopping.load() || (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)))
+        break;  // stop() wrote to the self-pipe
+      if (!(pfds[0].revents & POLLIN)) continue;
       const int cfd = ::accept(listen_fd, nullptr, nullptr);
       if (cfd < 0) {
-        if (errno == EINTR) continue;
-        break;  // listener shut down (stop()) or fatal error
+        // Transient conditions (a peer that reset before we accepted, a
+        // signal, another thread winning the race on a non-blocking
+        // listener) must not kill the acceptor.
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK)
+          continue;
+        break;  // fatal (EMFILE storms also land here; the poll retries)
       }
       if (stopping.load()) {
         ::close(cfd);
         break;
       }
+      set_nonblocking(cfd);
       int one = 1;
       ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      std::lock_guard<std::mutex> lk(conn_mu);
+      std::unique_lock<std::mutex> lk(conn_mu);
+      if (cfg.max_connections > 0 && conn_fds.size() >= cfg.max_connections) {
+        lk.unlock();
+        metrics.count_conn_rejected();
+        // One best-effort unsolicited BUSY (request id 0). The 24-byte
+        // frame virtually always fits the empty send buffer; if the peer
+        // has somehow wedged the socket already, we drop the courtesy
+        // rather than stall the acceptor.
+        std::vector<uint8_t> frame;
+        put_frame_header(frame, kReplyMagic, uint8_t(WireStatus::busy), 0, 0);
+        (void)::send(cfd, frame.data(), frame.size(), MSG_NOSIGNAL);
+        ::close(cfd);
+        continue;
+      }
+      metrics.count_conn_open();
       conn_fds.insert(cfd);
-      conn_threads.emplace_back([this, cfd] { serve_connection(cfd); });
+      // Insert the handle under conn_mu *while the thread may already be
+      // running*: its exit path needs this same lock to park the handle,
+      // so it cannot miss it.
+      conn_threads.emplace(cfd,
+                           std::thread([this, cfd] { serve_connection(cfd); }));
     }
   }
 };
@@ -435,6 +565,14 @@ Status Server::start() {
     return Status::invalid_argument;
   }
   port_ = ntohs(addr.sin_port);
+  // Non-blocking listener + self-pipe: the acceptor polls both, so stop()
+  // wakes it portably (no reliance on shutdown()-interrupts-accept
+  // semantics) and a spurious poll readiness cannot block in accept().
+  if (!set_nonblocking(im.listen_fd) || ::pipe(im.wake_pipe) != 0) {
+    ::close(im.listen_fd);
+    im.listen_fd = -1;
+    return Status::invalid_argument;
+  }
   im.started.reset();
   im.pool = std::make_unique<TaskPool>(im.workers);
   im.pool_driver = std::thread(
@@ -449,25 +587,53 @@ void Server::stop() {
   if (im.stopped || im.listen_fd < 0) return;
   im.stopped = true;
   im.stopping.store(true);
-  // 1. Stop accepting (shutdown wakes the blocked accept() on Linux).
-  ::shutdown(im.listen_fd, SHUT_RDWR);
+  // 1. Stop accepting: one byte down the self-pipe wakes the acceptor's
+  //    poll() on every POSIX platform.
+  {
+    const uint8_t b = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(im.wake_pipe[1], &b, 1);
+    } while (rc < 0 && errno == EINTR);
+  }
   im.acceptor.join();
   ::close(im.listen_fd);
-  // 2. Drain: no new admissions (late arrivals get BUSY); workers finish
-  //    every admitted job — readers still hold open sockets, so those
-  //    replies are delivered — then exit when the queue is empty.
+  ::close(im.wake_pipe[0]);
+  ::close(im.wake_pipe[1]);
+  // 2. Drain, bounded: no new admissions (late arrivals get BUSY); workers
+  //    keep finishing admitted jobs — readers still hold open sockets, so
+  //    those replies are delivered — but once the drain deadline passes,
+  //    jobs still queued are answered DEADLINE_EXCEEDED instead of
+  //    processed. In-flight jobs always run to completion (a compute
+  //    thread cannot be killed safely), so shutdown time is bounded by
+  //    the deadline plus one request.
   im.queue.stop();
+  if (im.cfg.drain_deadline_ms >= 0) {
+    Timer drained;
+    while (im.queue.depth() > 0 &&
+           drained.milliseconds() < double(im.cfg.drain_deadline_ms))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    im.queue.expire_all([&im](Job& job) {
+      im.metrics.count_timeout_request();
+      im.metrics.count_request(job.opcode, /*error=*/true, 0,
+                               job.waited.seconds(), 0.0);
+      Reply r;
+      r.status = WireStatus::deadline_exceeded;
+      job.promise->set_value(std::move(r));
+    });
+  }
   im.pool_driver.join();
   im.pool.reset();
-  // 3. Unblock readers waiting for the next request frame.
+  // 3. Unblock readers waiting for the next request frame, then wait for
+  //    every reader to park its handle and join the parked handles. The
+  //    wait is bounded: reads return immediately after shutdown() and
+  //    reply writes are under the write deadline.
   {
-    std::lock_guard<std::mutex> lk(im.conn_mu);
+    std::unique_lock<std::mutex> lk(im.conn_mu);
     for (const int fd : im.conn_fds) ::shutdown(fd, SHUT_RDWR);
+    im.conn_cv.wait(lk, [&im] { return im.conn_threads.empty(); });
   }
-  // conn_threads only grows under conn_mu from the (already joined)
-  // acceptor, so iterating without the lock is safe here.
-  for (std::thread& t : im.conn_threads) t.join();
-  im.conn_threads.clear();
+  im.reap_zombies();
 }
 
 StatsSnapshot Server::stats() const { return impl_->snapshot(); }

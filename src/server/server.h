@@ -26,6 +26,17 @@
 // frame, blocks for the worker's reply, writes it, then reads the next
 // frame. Replies on one connection therefore always arrive in request
 // order; concurrency comes from multiple connections.
+//
+// Degraded-conditions behaviour (docs/OPERATIONS.md "Timeouts, overload,
+// and retries"): every socket is non-blocking and poll()-guarded, so a
+// peer that stalls mid-frame is reaped when the read/write deadline
+// expires and an idle connection is reaped after `idle_timeout_ms`.
+// Connections past `max_connections` receive one unsolicited BUSY reply
+// (request id 0) and are closed without a reader thread. A request that
+// outlives `request_deadline_ms` is answered DEADLINE_EXCEEDED and its
+// eventual worker result discarded, so a pathological input cannot pin a
+// connection forever. stop() bounds its drain by `drain_deadline_ms`;
+// jobs still queued at that point are answered DEADLINE_EXCEEDED too.
 
 #include <atomic>
 #include <cstdint>
@@ -65,6 +76,35 @@ struct ServerConfig {
   /// Frames advertising a larger body are rejected (bad_request) and the
   /// connection closed.
   size_t max_body_bytes = kDefaultMaxBodyBytes;
+
+  /// Overall budget for finishing one socket read or write once it has
+  /// started (a frame header after its first byte, a body, a reply). A
+  /// peer that cannot move its bytes within this budget — including a
+  /// slow-loris dripping one byte per poll — is disconnected and counted
+  /// in timeouts_read / timeouts_write. < 0 disables the deadline.
+  int io_timeout_ms = 30'000;
+
+  /// How long a connection may sit idle between requests (waiting for the
+  /// first byte of the next frame header) before it is reaped and counted
+  /// in timeouts_read. < 0 disables the idle timeout.
+  int idle_timeout_ms = 60'000;
+
+  /// Compute deadline per request, measured from admission to the queue.
+  /// A request that has not produced its reply in time is answered
+  /// DEADLINE_EXCEEDED (counted in timeouts_request) and its worker
+  /// result, if any, discarded. <= 0 disables the deadline.
+  int request_deadline_ms = 0;
+
+  /// Accept cap on concurrently served connections. A connection past the
+  /// cap gets one unsolicited BUSY reply (request id 0) and is closed
+  /// immediately (counted in conns_rejected). 0 means unlimited.
+  size_t max_connections = 256;
+
+  /// Bound on stop()'s drain phase: jobs still queued after this budget
+  /// are answered DEADLINE_EXCEEDED instead of processed, so shutdown
+  /// completes in bounded time even with a full queue of slow requests.
+  /// < 0 waits for a full drain.
+  int drain_deadline_ms = 30'000;
 
   /// Test hook, called by a worker at the start of processing each job with
   /// the job's opcode. Lets tests hold a worker on a latch to make queue

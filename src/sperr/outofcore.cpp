@@ -1,6 +1,12 @@
 #include "sperr/outofcore.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <vector>
 
@@ -15,7 +21,76 @@
 
 namespace sperr::outofcore {
 
+namespace detail {
 namespace {
+CrashHook g_crash_hook = nullptr;
+}
+void set_crash_hook(CrashHook hook) { g_crash_hook = hook; }
+}  // namespace detail
+
+namespace {
+
+void crash_point(const char* stage) {
+  if (detail::g_crash_hook) detail::g_crash_hook(stage);
+}
+
+/// EINTR-safe full write to a descriptor.
+bool write_fd(int fd, const uint8_t* data, size_t n) {
+  while (n > 0) {
+    const ssize_t put = ::write(fd, data, n);
+    if (put > 0) {
+      data += put;
+      n -= size_t(put);
+    } else if (put < 0 && errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so the rename itself is durable
+/// (a crashed kernel may otherwise forget the directory entry while
+/// keeping the inode). Best effort on filesystems without dirsync.
+void fsync_parent_dir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// Publish `blob` at `out_path` atomically: <out_path>.tmp + fsync +
+/// rename + directory fsync. A crash anywhere leaves the destination
+/// absent, its old content, or the full new content — never a torn file.
+Status atomic_write_file(const std::string& out_path,
+                         const uint8_t* data, size_t size) {
+  const std::string tmp = out_path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::invalid_argument;
+  crash_point("tmp_open");
+  const size_t half = size / 2;
+  bool ok = write_fd(fd, data, half);
+  if (ok) crash_point("tmp_partial");
+  ok = ok && write_fd(fd, data + half, size - half);
+  if (ok) crash_point("tmp_written");
+  ok = ok && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return Status::invalid_argument;
+  }
+  crash_point("tmp_synced");
+  if (::rename(tmp.c_str(), out_path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::invalid_argument;
+  }
+  crash_point("renamed");
+  fsync_parent_dir(out_path);
+  crash_point("dir_synced");
+  return Status::ok;
+}
 
 /// Read one chunk from a raw field file into `out` (doubles), row by row.
 bool read_chunk(std::ifstream& in, Dims vol, int precision, const Chunk& c,
@@ -138,11 +213,9 @@ Status compress_file(const std::string& in_path, Dims dims, int precision,
   const auto blob = wrap_container(std::move(inner), cfg.lossless_pass,
                                    {cfg.lossless_block_size, cfg.num_threads});
 
-  std::ofstream out(out_path, std::ios::binary);
-  if (!out ||
-      !out.write(reinterpret_cast<const char*>(blob.data()),
-                 std::streamsize(blob.size())))
-    return Status::invalid_argument;
+  if (const Status ws = atomic_write_file(out_path, blob.data(), blob.size());
+      ws != Status::ok)
+    return ws;
 
   if (stats) {
     *stats = Stats{};
@@ -179,47 +252,86 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
 
   // Same fault-isolated core as the in-memory decoder; only the chunk loop
   // differs (serial, one decoded chunk resident, streamed to disk).
-  detail::OpenedContainer oc;
+  sperr::detail::OpenedContainer oc;
   if (const Status s =
-          detail::open_tolerant(blob.data(), blob.size(), policy, oc, &rep);
+          sperr::detail::open_tolerant(blob.data(), blob.size(), policy, oc, &rep);
       s != Status::ok) {
     rep.status = s;
     return s;
   }
 
-  // Pre-size the output file, then fill it chunk by chunk.
+  // Pre-size a temp file, fill it chunk by chunk, and only rename it over
+  // the destination once every chunk landed — a crash mid-decode (or a
+  // fail_fast abort) never leaves a torn raw field at out_path.
+  const std::string tmp_path = out_path + ".tmp";
   {
-    std::ofstream create(out_path, std::ios::binary);
+    std::ofstream create(tmp_path, std::ios::binary);
     if (!create) return Status::invalid_argument;
     create.seekp(
         std::streamoff(oc.hdr.dims.total() * uint64_t(precision) - 1));
     create.put('\0');
     if (!create) return Status::invalid_argument;
   }
-  std::fstream out(out_path,
-                   std::ios::binary | std::ios::in | std::ios::out);
-  if (!out) return Status::invalid_argument;
-
-  rep.chunks.resize(oc.chunks.size());
-  std::vector<double> buf;
-  Arena& arena = tls_arena();
-  for (size_t i = 0; i < oc.chunks.size(); ++i) {
-    buf.assign(oc.chunks[i].dims.total(), 0.0);
-    arena.reset();
-    rep.chunks[i] = detail::decode_chunk(oc, i, policy, buf.data(), &arena);
-    if (rep.chunks[i].damaged()) {
-      ++rep.damaged;
-      if (rep.chunks[i].action != ChunkAction::none) ++rep.recovered;
-      if (policy == Recovery::fail_fast) {
-        // Serial and in order, so this is the lowest damaged index.
-        rep.chunks.resize(i + 1);
-        rep.status = rep.chunks[i].status;
-        return rep.status;
-      }
-    }
-    if (!write_chunk(out, oc.hdr.dims, precision, oc.chunks[i], buf))
+  crash_point("tmp_open");
+  {
+    std::fstream out(tmp_path,
+                     std::ios::binary | std::ios::in | std::ios::out);
+    if (!out) {
+      ::unlink(tmp_path.c_str());
       return Status::invalid_argument;
+    }
+
+    rep.chunks.resize(oc.chunks.size());
+    std::vector<double> buf;
+    Arena& arena = tls_arena();
+    for (size_t i = 0; i < oc.chunks.size(); ++i) {
+      buf.assign(oc.chunks[i].dims.total(), 0.0);
+      arena.reset();
+      rep.chunks[i] = sperr::detail::decode_chunk(oc, i, policy, buf.data(), &arena);
+      if (rep.chunks[i].damaged()) {
+        ++rep.damaged;
+        if (rep.chunks[i].action != ChunkAction::none) ++rep.recovered;
+        if (policy == Recovery::fail_fast) {
+          // Serial and in order, so this is the lowest damaged index.
+          rep.chunks.resize(i + 1);
+          rep.status = rep.chunks[i].status;
+          out.close();
+          ::unlink(tmp_path.c_str());
+          return rep.status;
+        }
+      }
+      if (!write_chunk(out, oc.hdr.dims, precision, oc.chunks[i], buf)) {
+        out.close();
+        ::unlink(tmp_path.c_str());
+        return Status::invalid_argument;
+      }
+      if (i == 0) crash_point("tmp_partial");
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      ::unlink(tmp_path.c_str());
+      return Status::invalid_argument;
+    }
   }
+  crash_point("tmp_written");
+  {
+    const int fd = ::open(tmp_path.c_str(), O_WRONLY);
+    const bool synced = fd >= 0 && ::fsync(fd) == 0;
+    if (fd >= 0) ::close(fd);
+    if (!synced) {
+      ::unlink(tmp_path.c_str());
+      return Status::invalid_argument;
+    }
+  }
+  crash_point("tmp_synced");
+  if (::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::invalid_argument;
+  }
+  crash_point("renamed");
+  fsync_parent_dir(out_path);
+  crash_point("dir_synced");
   rep.status = Status::ok;
   rep.field_valid = true;
   return Status::ok;

@@ -9,6 +9,13 @@
 // O(volume).
 //
 // Raw files are x-fastest arrays of f32 or f64 (the SDRBench layout).
+//
+// Output files are written crash-consistently: bytes go to `<path>.tmp`,
+// the file is fsync()ed, rename()d over the destination, and the parent
+// directory fsync()ed. A crash at ANY point leaves the destination either
+// absent, its previous content, or the complete new content — never a
+// torn container (the torn-write crash-point test in test_outofcore.cpp
+// kills the writer at every stage boundary and asserts exactly that).
 
 #include <string>
 
@@ -16,6 +23,24 @@
 #include "sperr/config.h"
 
 namespace sperr::outofcore {
+
+namespace detail {
+
+/// Test-only crash-point hook for the atomic write path. When set, the
+/// writer calls it at each stage boundary, in order:
+///   "tmp_open"    temp file created, nothing written yet
+///   "tmp_partial" some but not all payload bytes written
+///   "tmp_written" all payload bytes written, not yet fsync()ed
+///   "tmp_synced"  temp file durable, rename() not yet issued
+///   "renamed"     destination renamed into place, directory not yet synced
+///   "dir_synced"  everything durable
+/// The torn-write test forks, _exit()s inside the hook at one stage, and
+/// asserts the destination is absent or fully valid. Not thread-safe by
+/// design (set before spawning writers); never set in production.
+using CrashHook = void (*)(const char* stage);
+void set_crash_hook(CrashHook hook);
+
+}  // namespace detail
 
 /// Compress the raw field stored at `in_path` (extents `dims`, `precision`
 /// bytes per sample: 4 or 8) into a SPERR container at `out_path`.

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -135,6 +140,126 @@ TEST(OutOfCore, SizeMismatchRejected) {
             Status::invalid_argument);
   EXPECT_EQ(compress_file(raw.path(), dims, 4, cfg, packed.path()),
             Status::invalid_argument);
+}
+
+// --- torn-write crash points ------------------------------------------------
+//
+// The crash-consistency contract of outofcore.h: kill the writer at EVERY
+// stage boundary of the atomic write path and the destination is either
+// absent, its previous content, or the complete new content — never a torn
+// container. Each case forks, _exit()s inside the crash hook at one stage,
+// and inspects what the "crashed" process left on disk.
+
+const char* g_crash_stage = nullptr;
+
+void crash_at_stage(const char* stage) {
+  if (std::strcmp(stage, g_crash_stage) == 0) _exit(42);
+}
+
+std::vector<uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+constexpr const char* kCrashStages[] = {"tmp_open",   "tmp_partial", "tmp_written",
+                                        "tmp_synced", "renamed",     "dir_synced"};
+
+/// Run `op` in a forked child that _exit(42)s at `stage`; returns true when
+/// the hook actually fired (guards against a stage silently not reached).
+template <class Op>
+bool crash_child_at(const char* stage, Op&& op) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    g_crash_stage = stage;
+    detail::set_crash_hook(&crash_at_stage);
+    op();
+    _exit(0);  // hook never fired
+  }
+  int wstatus = 0;
+  EXPECT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  return WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 42;
+}
+
+TEST(OutOfCoreCrash, CompressKilledAtEveryStageNeverTearsDestination) {
+  const Dims dims{24, 24, 24};
+  const auto field = data::miranda_density(dims);
+  TempFile raw(".raw"), expected(".sperr"), dest(".sperr");
+  write_raw(raw.path(), field, 8);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 15);
+  cfg.chunk_dims = Dims{16, 16, 16};
+
+  // Clean run: the content every successful write must reproduce exactly.
+  ASSERT_EQ(compress_file(raw.path(), dims, 8, cfg, expected.path()), Status::ok);
+  const std::vector<uint8_t> clean = slurp(expected.path());
+  ASSERT_FALSE(clean.empty());
+
+  const std::vector<uint8_t> old_content = {'o', 'l', 'd'};
+  for (const char* stage : kCrashStages) {
+    SCOPED_TRACE(stage);
+    // Pre-populate the destination: a crash must leave either this exact
+    // old content or the complete new container.
+    {
+      std::ofstream out(dest.path(), std::ios::binary);
+      out.write(reinterpret_cast<const char*>(old_content.data()),
+                std::streamsize(old_content.size()));
+    }
+    ASSERT_TRUE(crash_child_at(stage, [&] {
+      compress_file(raw.path(), dims, 8, cfg, dest.path());
+    }));
+    ASSERT_TRUE(file_exists(dest.path()));
+    const std::vector<uint8_t> found = slurp(dest.path());
+    EXPECT_TRUE(found == old_content || found == clean)
+        << "destination torn after crash at " << stage << " (size "
+        << found.size() << ")";
+    std::remove((dest.path() + ".tmp").c_str());
+    std::remove(dest.path().c_str());
+  }
+
+  // Fresh-destination variant: the destination must be absent or complete,
+  // never a partial file.
+  for (const char* stage : kCrashStages) {
+    SCOPED_TRACE(stage);
+    ASSERT_TRUE(crash_child_at(stage, [&] {
+      compress_file(raw.path(), dims, 8, cfg, dest.path());
+    }));
+    if (file_exists(dest.path())) {
+      EXPECT_EQ(slurp(dest.path()), clean);
+    }
+    std::remove((dest.path() + ".tmp").c_str());
+    std::remove(dest.path().c_str());
+  }
+}
+
+TEST(OutOfCoreCrash, DecompressKilledAtEveryStageNeverTearsDestination) {
+  const Dims dims{24, 24, 24};
+  const auto field = data::nyx_velocity_x(dims);
+  TempFile raw(".raw"), packed(".sperr"), expected(".raw"), dest(".raw");
+  write_raw(raw.path(), field, 8);
+  Config cfg;
+  cfg.tolerance = tolerance_from_idx(field.data(), field.size(), 12);
+  cfg.chunk_dims = Dims{16, 16, 16};
+  ASSERT_EQ(compress_file(raw.path(), dims, 8, cfg, packed.path()), Status::ok);
+  ASSERT_EQ(decompress_file(packed.path(), expected.path(), 8), Status::ok);
+  const std::vector<uint8_t> clean = slurp(expected.path());
+  ASSERT_FALSE(clean.empty());
+
+  for (const char* stage : kCrashStages) {
+    SCOPED_TRACE(stage);
+    ASSERT_TRUE(crash_child_at(stage, [&] {
+      decompress_file(packed.path(), dest.path(), 8);
+    }));
+    if (file_exists(dest.path())) {
+      EXPECT_EQ(slurp(dest.path()), clean);
+    }
+    std::remove((dest.path() + ".tmp").c_str());
+    std::remove(dest.path().c_str());
+  }
 }
 
 TEST(OutOfCore, MissingInputRejected) {

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -22,7 +23,9 @@
 #include <vector>
 
 #include "common/byteio.h"
+#include "common/timer.h"
 #include "data/synthetic.h"
+#include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/server.h"
 #include "sperr/sperr.h"
@@ -484,6 +487,205 @@ TEST(Server, GracefulStopAnswersAdmittedRequests) {
   srv.stop();
   srv.stop();  // idempotent
   EXPECT_EQ(answered.load(), 4);
+}
+
+// --- degraded conditions: deadlines, caps, and hostile disconnects ----------
+
+/// STATS over a raw connection, parsed into a snapshot.
+bool fetch_stats(int fd, uint64_t id, StatsSnapshot& snap) {
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  return roundtrip(fd, Opcode::stats, id, {}, h, reply) &&
+         h.code == uint8_t(WireStatus::ok) &&
+         StatsSnapshot::parse(reply.data(), reply.size(), snap);
+}
+
+TEST(ServerHardened, IdleConnectionIsReaped) {
+  // The acceptance scenario: a connection that sends 23 of the 24 header
+  // bytes and stalls must be reaped within the I/O deadline — while other
+  // clients keep getting answers the whole time.
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.io_timeout_ms = 200;
+  sc.idle_timeout_ms = 2000;
+  Server srv(sc);
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+
+  Client stall(srv.port());
+  ASSERT_GE(stall.fd, 0);
+  std::vector<uint8_t> header;
+  put_frame_header(header, kRequestMagic, uint8_t(Opcode::stats), 7, 0);
+  ASSERT_TRUE(write_all(stall.fd, header.data(), 23));  // one byte short
+
+  Client good(srv.port());
+  ASSERT_GE(good.fd, 0);
+  StatsSnapshot snap;
+  ASSERT_TRUE(fetch_stats(good.fd, 1, snap));
+  EXPECT_EQ(snap.active_connections, 2u);
+
+  // The stalled connection is charged a read timeout and dropped; the
+  // well-behaved connection keeps answering throughout.
+  sperr::Timer guard;
+  while (snap.timeouts_read < 1 && guard.seconds() < 10.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(fetch_stats(good.fd, 2, snap));
+  }
+  EXPECT_GE(snap.timeouts_read, 1u);
+  ASSERT_TRUE(fetch_stats(good.fd, 3, snap));
+  EXPECT_EQ(snap.active_connections, 1u);
+  // The server closed the stalled socket: the next read sees EOF.
+  char byte;
+  EXPECT_EQ(::recv(stall.fd, &byte, 1, 0), 0);
+  srv.stop();
+}
+
+TEST(ServerHardened, RequestDeadlineAnswersDeadlineExceeded) {
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.request_deadline_ms = 100;
+  sc.process_hook = [](uint8_t opcode) {
+    if (Opcode(opcode) == Opcode::verify)
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  };
+  Server srv(sc);
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+  Client c(srv.port());
+  ASSERT_GE(c.fd, 0);
+  const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  sperr::Timer t;
+  ASSERT_TRUE(roundtrip(c.fd, Opcode::verify, 9, junk, h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::deadline_exceeded));
+  EXPECT_EQ(h.request_id, 9u);
+  EXPECT_LT(t.seconds(), 0.35);  // answered at the deadline, not after the work
+  // Let the lone worker drain the abandoned job before probing STATS.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  StatsSnapshot snap;
+  ASSERT_TRUE(fetch_stats(c.fd, 10, snap));
+  EXPECT_GE(snap.timeouts_request, 1u);
+  srv.stop();
+}
+
+TEST(ServerHardened, ConnectionCapRepliesBusyAndCloses) {
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.max_connections = 1;
+  Server srv(sc);
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+  Client a(srv.port());
+  ASSERT_GE(a.fd, 0);
+  StatsSnapshot snap;
+  ASSERT_TRUE(fetch_stats(a.fd, 1, snap));  // a is registered by now
+
+  // Past the cap: exactly one unsolicited BUSY frame (request id 0, empty
+  // body), then EOF.
+  Client b(srv.port());
+  ASSERT_GE(b.fd, 0);
+  uint8_t raw[kFrameHeaderBytes];
+  ASSERT_TRUE(read_exact(b.fd, raw, sizeof raw));
+  const FrameHeader h = parse_frame_header(raw);
+  EXPECT_EQ(h.magic, kReplyMagic);
+  EXPECT_EQ(h.code, uint8_t(WireStatus::busy));
+  EXPECT_EQ(h.request_id, 0u);
+  EXPECT_EQ(h.body_len, 0u);
+  char extra;
+  EXPECT_EQ(::recv(b.fd, &extra, 1, 0), 0);
+
+  ASSERT_TRUE(fetch_stats(a.fd, 2, snap));
+  EXPECT_GE(snap.conns_rejected, 1u);
+  EXPECT_EQ(snap.active_connections, 1u);
+  srv.stop();
+}
+
+TEST(ServerHardened, RstMidBodyDoesNotCrash) {
+  // An abrupt RST halfway through a request body must not crash the server
+  // or corrupt its counters; other connections keep working.
+  const Workload& w = workload();
+  auto srv = make_server();
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+  for (int round = 0; round < 4; ++round) {
+    Client c(srv.port());
+    ASSERT_GE(c.fd, 0);
+    std::vector<uint8_t> frame;
+    put_frame_header(frame, kRequestMagic, uint8_t(Opcode::verify), 1,
+                     w.container.size());
+    ASSERT_TRUE(write_all(c.fd, frame.data(), frame.size()));
+    ASSERT_TRUE(write_all(c.fd, w.container.data(), w.container.size() / 2));
+    struct linger lg = {1, 0};  // RST on close
+    ASSERT_EQ(::setsockopt(c.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg), 0);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+  Client good(srv.port());
+  ASSERT_GE(good.fd, 0);
+  StatsSnapshot snap;
+  ASSERT_TRUE(fetch_stats(good.fd, 5, snap));
+  EXPECT_EQ(snap.requests_total, 1u);  // only the STATS; torn requests never ran
+  EXPECT_EQ(snap.stats_count, 1u);
+  srv.stop();
+}
+
+TEST(ServerHardened, HalfCloseAfterRequestStillGetsReply) {
+  // shutdown(SHUT_WR) after a complete request: the server must still
+  // process it and deliver the reply before seeing the FIN-induced EOF.
+  const Workload& w = workload();
+  auto srv = make_server();
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+  Client c(srv.port());
+  ASSERT_GE(c.fd, 0);
+  std::vector<uint8_t> frame;
+  put_frame_header(frame, kRequestMagic, uint8_t(Opcode::verify), 21,
+                   w.container.size());
+  frame.insert(frame.end(), w.container.begin(), w.container.end());
+  ASSERT_TRUE(write_all(c.fd, frame.data(), frame.size()));
+  ASSERT_EQ(::shutdown(c.fd, SHUT_WR), 0);
+  uint8_t raw[kFrameHeaderBytes];
+  ASSERT_TRUE(read_exact(c.fd, raw, sizeof raw));
+  const FrameHeader h = parse_frame_header(raw);
+  EXPECT_EQ(h.code, uint8_t(WireStatus::ok));
+  EXPECT_EQ(h.request_id, 21u);
+  std::vector<uint8_t> body(size_t(h.body_len));
+  if (!body.empty()) {
+    ASSERT_TRUE(read_exact(c.fd, body.data(), body.size()));
+  }
+  char extra;
+  EXPECT_EQ(::recv(c.fd, &extra, 1, 0), 0);  // then EOF
+  srv.stop();
+}
+
+TEST(ServerHardened, DisconnectWhileReplyInFlightDoesNotCrash) {
+  // Clients that vanish while the worker is computing their reply: the
+  // write fails, the reader unwinds, the server survives and its STATS
+  // stay coherent.
+  const Workload& w = workload();
+  auto srv = make_server();
+  ASSERT_EQ(srv.start(), sperr::Status::ok);
+  const std::vector<uint8_t> body =
+      build_decompress_body(0, 8, w.container.data(), w.container.size());
+  std::vector<uint8_t> frame;
+  put_frame_header(frame, kRequestMagic, uint8_t(Opcode::decompress), 31,
+                   body.size());
+  frame.insert(frame.end(), body.begin(), body.end());
+  for (int round = 0; round < 4; ++round) {
+    Client c(srv.port());
+    ASSERT_GE(c.fd, 0);
+    ASSERT_TRUE(write_all(c.fd, frame.data(), frame.size()));
+    struct linger lg = {1, 0};
+    ASSERT_EQ(::setsockopt(c.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg), 0);
+    ::close(c.fd);  // RST races the in-flight reply
+    c.fd = -1;
+  }
+  Client good(srv.port());
+  ASSERT_GE(good.fd, 0);
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(roundtrip(good.fd, Opcode::verify, 40, w.container, h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::ok));
+  StatsSnapshot snap;
+  ASSERT_TRUE(fetch_stats(good.fd, 41, snap));
+  EXPECT_EQ(snap.active_connections, 1u);
+  srv.stop();
 }
 
 // --- docs/PROTOCOL.md conformance replay ------------------------------------

@@ -2,7 +2,9 @@
 //
 //   sperr_serve [--port P] [--workers N] [--queue-depth Q]
 //               [--request-threads N] [--intra-threads N]
-//               [--max-body-mb M] [--quiet]
+//               [--max-body-mb M] [--max-conns N]
+//               [--io-timeout-ms T] [--idle-timeout-ms T]
+//               [--request-deadline-ms T] [--drain-deadline-ms T] [--quiet]
 //
 // Binds 127.0.0.1:P (P = 0 picks an ephemeral port) and speaks the
 // length-prefixed binary protocol specified in docs/PROTOCOL.md (COMPRESS /
@@ -31,7 +33,10 @@ namespace {
                "usage:\n"
                "  sperr_serve [--port P] [--workers N] [--queue-depth Q]\n"
                "              [--request-threads N] [--intra-threads N]\n"
-               "              [--max-body-mb M] [--quiet]\n"
+               "              [--max-body-mb M] [--max-conns N]\n"
+               "              [--io-timeout-ms T] [--idle-timeout-ms T]\n"
+               "              [--request-deadline-ms T] [--drain-deadline-ms T]\n"
+               "              [--quiet]\n"
                "\n"
                "  --port P             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
                "  --workers N          request-processing lanes (default 0 = one per core)\n"
@@ -39,6 +44,17 @@ namespace {
                "  --request-threads N  OpenMP chunk threads inside one request (default 1)\n"
                "  --intra-threads N    deterministic SPECK lanes per chunk (default 1)\n"
                "  --max-body-mb M      reject frames with bodies over M MiB (default 1024)\n"
+               "  --max-conns N        concurrent connection cap; past it new\n"
+               "                       connections get one BUSY and are closed\n"
+               "                       (default 256, 0 = unlimited)\n"
+               "  --io-timeout-ms T    budget to finish one started read/write\n"
+               "                       (default 30000, -1 = none)\n"
+               "  --idle-timeout-ms T  reap connections idle between requests for T\n"
+               "                       (default 60000, -1 = none)\n"
+               "  --request-deadline-ms T  answer DEADLINE_EXCEEDED when a request\n"
+               "                       is not done T ms after admission (default 0 = off)\n"
+               "  --drain-deadline-ms T  bound on the shutdown drain; leftover jobs\n"
+               "                       answer DEADLINE_EXCEEDED (default 30000, -1 = full drain)\n"
                "  --quiet              only the listening line and fatal errors\n");
   std::exit(2);
 }
@@ -82,6 +98,22 @@ int main(int argc, char** argv) {
       const long m = parse_long(next("--max-body-mb needs a size"), "--max-body-mb needs a size");
       if (m < 1) usage("--max-body-mb must be >= 1");
       cfg.max_body_bytes = size_t(m) << 20;
+    } else if (a == "--max-conns") {
+      const long n = parse_long(next("--max-conns needs a count"), "--max-conns needs a count");
+      if (n < 0) usage("--max-conns must be >= 0");
+      cfg.max_connections = size_t(n);
+    } else if (a == "--io-timeout-ms") {
+      cfg.io_timeout_ms =
+          int(parse_long(next("--io-timeout-ms needs a time"), "--io-timeout-ms needs a time"));
+    } else if (a == "--idle-timeout-ms") {
+      cfg.idle_timeout_ms =
+          int(parse_long(next("--idle-timeout-ms needs a time"), "--idle-timeout-ms needs a time"));
+    } else if (a == "--request-deadline-ms") {
+      cfg.request_deadline_ms = int(parse_long(next("--request-deadline-ms needs a time"),
+                                               "--request-deadline-ms needs a time"));
+    } else if (a == "--drain-deadline-ms") {
+      cfg.drain_deadline_ms = int(parse_long(next("--drain-deadline-ms needs a time"),
+                                             "--drain-deadline-ms needs a time"));
     } else if (a == "--quiet") {
       quiet = true;
     } else {
@@ -132,6 +164,14 @@ int main(int argc, char** argv) {
         double(s.bytes_out) / 1e6,
         s.requests_total ? s.queue_wait_seconds / double(s.requests_total) * 1e3
                          : 0.0);
+    std::printf(
+        "sperr_serve: %llu connection(s) (%llu rejected at cap), "
+        "%llu read timeout(s), %llu write timeout(s), %llu request deadline(s)\n",
+        static_cast<unsigned long long>(s.conns_total),
+        static_cast<unsigned long long>(s.conns_rejected),
+        static_cast<unsigned long long>(s.timeouts_read),
+        static_cast<unsigned long long>(s.timeouts_write),
+        static_cast<unsigned long long>(s.timeouts_request));
   }
   return 0;
 }
