@@ -24,6 +24,12 @@
 //      answered DEADLINE_EXCEEDED (timeouts_request_ok), and a connection
 //      past --max-conns gets one unsolicited BUSY and a close
 //      (conns_rejected_ok).
+//   5. Resource governance: a sub-kilobyte container declaring terabytes is
+//      answered RESOURCE_EXHAUSTED in bounded time while a neighbouring
+//      connection's honest traffic stays byte-identical (bomb_rejected_ok),
+//      and a server started with --max-output-mb below an honest request's
+//      decoded size rejects it with status 8 where a generous budget admits
+//      it (budget_enforced_ok).
 //
 // Without --port the traffic phases run against an in-process Server;
 // with --port they target an already-running sperr_serve (the CI smoke job
@@ -356,7 +362,32 @@ struct HardeningResult {
   bool timeouts_read_ok = false;
   bool timeouts_request_ok = false;
   bool conns_rejected_ok = false;
+  bool bomb_rejected_ok = false;
+  bool budget_enforced_ok = false;
 };
+
+/// 96-byte v2 container declaring 2^21 x 2^21 x 1 doubles (32 TiB).
+std::vector<uint8_t> bomb_container() {
+  std::vector<uint8_t> inner;
+  sperr::put_u32(inner, 0x43525053);  // 'SPRC'
+  sperr::put_u8(inner, 0);            // mode = pwe
+  sperr::put_u8(inner, 8);            // precision = f64
+  sperr::put_u64(inner, uint64_t(1) << 21);
+  sperr::put_u64(inner, uint64_t(1) << 21);
+  sperr::put_u64(inner, 1);
+  for (int i = 0; i < 3; ++i) sperr::put_u64(inner, 256);  // chunk dims
+  sperr::put_f64(inner, 1e-6);
+  sperr::put_u32(inner, 1);  // nchunks
+  sperr::put_u64(inner, 0);  // entry 0: speck_len
+  sperr::put_u64(inner, 0);  // entry 0: outlier_len
+  std::vector<uint8_t> out;
+  sperr::put_u32(out, 0x5a525053);  // 'SPRZ'
+  sperr::put_u8(out, 2);
+  sperr::put_u8(out, 0);
+  sperr::put_u64(out, inner.size());
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
 
 /// STATS over a raw connection, parsed into a snapshot.
 bool fetch_stats(int fd, uint64_t id, StatsSnapshot& snap) {
@@ -461,6 +492,91 @@ HardeningResult check_hardening() {
     r.conns_rejected_ok = ok;
     if (!ok) std::fprintf(stderr, "bench_server: connection cap failed\n");
   }
+
+  // (d) A terabyte-declaring bomb is answered RESOURCE_EXHAUSTED in bounded
+  //     time, accounted in STATS, and honest traffic on a neighbouring
+  //     connection is untouched — byte-identical replies before and after.
+  {
+    ServerConfig sc;
+    sc.workers = 2;
+    Server srv(sc);
+    if (srv.start() != sperr::Status::ok) return r;
+    const Dims dims{16, 16, 16};
+    const auto field = sperr::data::miranda_pressure(dims);
+    sperr::Config cfg;
+    cfg.tolerance = sperr::tolerance_from_idx(field.data(), field.size(), 18);
+    const auto honest = sperr::compress(field.data(), dims, cfg);
+    const auto bomb = bomb_container();
+
+    RawConn victim(srv.port());
+    RawConn attacker(srv.port());
+    FrameHeader h;
+    std::vector<uint8_t> before, after, reply;
+    bool ok = victim.fd >= 0 && attacker.fd >= 0 &&
+              roundtrip(victim.fd, Opcode::decompress, 1,
+                        build_decompress_body(0, 8, honest.data(),
+                                              honest.size()),
+                        h, before) &&
+              h.code == uint8_t(WireStatus::ok);
+    sperr::Timer bomb_timer;
+    ok = ok &&
+         roundtrip(attacker.fd, Opcode::decompress, 2,
+                   build_decompress_body(0, 8, bomb.data(), bomb.size()), h,
+                   reply) &&
+         h.code == uint8_t(WireStatus::resource_exhausted) && reply.empty() &&
+         bomb_timer.seconds() < 0.25;
+    ok = ok &&
+         roundtrip(victim.fd, Opcode::decompress, 3,
+                   build_decompress_body(0, 8, honest.data(), honest.size()),
+                   h, after) &&
+         h.code == uint8_t(WireStatus::ok) && after == before;
+    StatsSnapshot snap;
+    ok = ok && fetch_stats(attacker.fd, 4, snap) &&
+         snap.resource_exhausted >= 1;
+    srv.stop();
+    r.bomb_rejected_ok = ok;
+    if (!ok) std::fprintf(stderr, "bench_server: bomb rejection failed\n");
+  }
+
+  // (e) The --max-output-mb / --max-memory-mb knobs bind: a ceiling below
+  //     an honest request's decoded size rejects it with status 8; a
+  //     generous budget admits the same bytes.
+  {
+    const Dims dims{32, 32, 32};  // decodes to 256 KiB
+    const auto field = sperr::data::miranda_pressure(dims);
+    sperr::Config cfg;
+    cfg.tolerance = sperr::tolerance_from_idx(field.data(), field.size(), 18);
+    const auto honest = sperr::compress(field.data(), dims, cfg);
+    const auto body = build_decompress_body(0, 8, honest.data(), honest.size());
+
+    auto decompress_status = [&](uint64_t max_output, uint64_t max_memory,
+                                 uint8_t& code) {
+      ServerConfig sc;
+      sc.workers = 1;
+      sc.max_output_bytes = max_output;
+      sc.max_memory_bytes = max_memory;
+      Server srv(sc);
+      if (srv.start() != sperr::Status::ok) return false;
+      RawConn c(srv.port());
+      FrameHeader h;
+      std::vector<uint8_t> reply;
+      const bool ok =
+          c.fd >= 0 && roundtrip(c.fd, Opcode::decompress, 1, body, h, reply);
+      code = h.code;
+      srv.stop();
+      return ok;
+    };
+
+    uint8_t tight = 0xff, pooled = 0xff, generous = 0xff;
+    bool ok = decompress_status(64 << 10, 0, tight) &&
+              tight == uint8_t(WireStatus::resource_exhausted);
+    ok = ok && decompress_status(0, 128 << 10, pooled) &&
+         pooled == uint8_t(WireStatus::resource_exhausted);
+    ok = ok && decompress_status(4 << 20, 16 << 20, generous) &&
+         generous == uint8_t(WireStatus::ok);
+    r.budget_enforced_ok = ok;
+    if (!ok) std::fprintf(stderr, "bench_server: budget enforcement failed\n");
+  }
   return r;
 }
 
@@ -546,10 +662,13 @@ int main(int argc, char** argv) {
   const HardeningResult hr = check_hardening();
   std::printf(
       "bench_server: hardening checks: stalled-header reap %s, "
-      "request deadline %s, connection cap %s\n",
+      "request deadline %s, connection cap %s, bomb rejection %s, "
+      "memory budget %s\n",
       hr.timeouts_read_ok ? "ok" : "FAILED",
       hr.timeouts_request_ok ? "ok" : "FAILED",
-      hr.conns_rejected_ok ? "ok" : "FAILED");
+      hr.conns_rejected_ok ? "ok" : "FAILED",
+      hr.bomb_rejected_ok ? "ok" : "FAILED",
+      hr.budget_enforced_ok ? "ok" : "FAILED");
 
   const bool traffic_ok = t.errors == 0 && t.requests > 0;
 
@@ -576,6 +695,8 @@ int main(int argc, char** argv) {
                 "  \"timeouts_read_ok\": %s,\n"
                 "  \"timeouts_request_ok\": %s,\n"
                 "  \"conns_rejected_ok\": %s,\n"
+                "  \"bomb_rejected_ok\": %s,\n"
+                "  \"budget_enforced_ok\": %s,\n"
                 "  \"traffic_ok\": %s\n"
                 "}\n",
                 w.dims.x, w.dims.y, w.dims.z, opt.clients, workers,
@@ -589,6 +710,8 @@ int main(int argc, char** argv) {
                 hr.timeouts_read_ok ? "true" : "false",
                 hr.timeouts_request_ok ? "true" : "false",
                 hr.conns_rejected_ok ? "true" : "false",
+                hr.bomb_rejected_ok ? "true" : "false",
+                hr.budget_enforced_ok ? "true" : "false",
                 traffic_ok ? "true" : "false");
   std::printf("%s", buf);
   if (!opt.json.empty()) {
@@ -596,7 +719,8 @@ int main(int argc, char** argv) {
     out << buf;
   }
   return (identical && backpressure_ok && hr.timeouts_read_ok &&
-          hr.timeouts_request_ok && hr.conns_rejected_ok && traffic_ok)
+          hr.timeouts_request_ok && hr.conns_rejected_ok &&
+          hr.bomb_rejected_ok && hr.budget_enforced_ok && traffic_ok)
              ? 0
              : 2;
 }

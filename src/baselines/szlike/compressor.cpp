@@ -208,7 +208,7 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out
   });
   return ok ? Status::ok : Status::corrupt_stream;
 } catch (const std::bad_alloc&) {
-  return Status::corrupt_stream;
+  return Status::resource_exhausted;
 }
 
 }  // namespace sperr::szlike

@@ -186,7 +186,7 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out
     if (mode_size(dims, m) > 1) out = mode_product(out, dims, m, factors[m], false);
   return Status::ok;
 } catch (const std::bad_alloc&) {
-  return Status::corrupt_stream;
+  return Status::resource_exhausted;
 }
 
 }  // namespace sperr::tthreshlike

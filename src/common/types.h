@@ -62,6 +62,9 @@ enum class Status {
   invalid_argument,  ///< caller passed an unusable parameter (e.g. tolerance <= 0)
   corrupt_block,     ///< a lossless block failed its checksum; the block index is reported
   corrupt_chunk,     ///< a container chunk failed its checksum; the chunk index is reported
+  resource_exhausted,  ///< header-declared output/working set exceeds the decoder's
+                       ///< configured ResourceLimits (common/resource.h) — the bytes
+                       ///< may be well-formed, but decoding them is not affordable
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -72,6 +75,7 @@ enum class Status {
     case Status::invalid_argument: return "invalid_argument";
     case Status::corrupt_block: return "corrupt_block";
     case Status::corrupt_chunk: return "corrupt_chunk";
+    case Status::resource_exhausted: return "resource_exhausted";
   }
   return "unknown";
 }

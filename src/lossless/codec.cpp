@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
 #include "common/bitstream.h"
 #include "common/byteio.h"
@@ -719,19 +720,31 @@ std::vector<uint8_t> compress(const uint8_t* data, size_t size, const EncodeOpti
 }
 
 Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
-                  size_t* corrupt_block, int num_threads) {
+                  size_t* corrupt_block, int num_threads,
+                  const ResourceLimits* limits) {
   (void)num_threads;
   if (size == 0) return Status::truncated_stream;
   const uint8_t fmt = data[0];
-  if (fmt == kModeRaw || fmt == kModeLz) return decode_reference(data, size, out);
+  if (fmt == kModeRaw || fmt == kModeLz)
+    return decode_reference(data, size, out, limits);
   if (fmt != kFmtBlocked && fmt != kFmtBlockedTagged) return Status::corrupt_stream;
 
   StreamInfo info;
   const Status parsed = parse_blocked(data, size, info);
   if (parsed != Status::ok) return parsed;
 
+  // The header's raw size is the only thing allocation is based on, and it
+  // is attacker-controlled: admit it against the limits before sizing out.
+  const ResourceLimits& rl = effective_limits(limits);
+  if (!rl.admits_output(info.raw_size) || !rl.admits_expansion(size, info.raw_size))
+    return Status::resource_exhausted;
+
   out.clear();
-  out.resize(size_t(info.raw_size));
+  try {
+    out.resize(size_t(info.raw_size));
+  } catch (const std::bad_alloc&) {
+    return Status::resource_exhausted;
+  }
   const size_t nb = info.blocks.size();
   std::vector<Status> block_status(nb, Status::ok);
 
@@ -760,7 +773,8 @@ Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
 }
 
 Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
-                           std::vector<size_t>& bad_blocks, int num_threads) {
+                           std::vector<size_t>& bad_blocks, int num_threads,
+                           const ResourceLimits* limits) {
   (void)num_threads;
   bad_blocks.clear();
   out.clear();
@@ -768,7 +782,7 @@ Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t
   const uint8_t fmt = data[0];
   // Reference framing carries no block structure: all-or-nothing.
   if (fmt == kModeRaw || fmt == kModeLz) {
-    const Status s = decode_reference(data, size, out);
+    const Status s = decode_reference(data, size, out, limits);
     if (s != Status::ok) out.clear();
     return s;
   }
@@ -778,7 +792,16 @@ Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t
   const Status parsed = parse_blocked(data, size, info, /*tolerant=*/true);
   if (parsed != Status::ok) return parsed;
 
-  out.resize(size_t(info.raw_size));
+  const ResourceLimits& rl = effective_limits(limits);
+  if (!rl.admits_output(info.raw_size) || !rl.admits_expansion(size, info.raw_size))
+    return Status::resource_exhausted;
+
+  try {
+    out.resize(size_t(info.raw_size));
+  } catch (const std::bad_alloc&) {
+    out.clear();
+    return Status::resource_exhausted;
+  }
   const size_t nb = info.blocks.size();
   std::vector<Status> block_status(nb, Status::ok);
 
@@ -885,11 +908,16 @@ std::vector<uint8_t> encode_reference(const uint8_t* data, size_t size) {
   return out;
 }
 
-Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out) {
+Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                        const ResourceLimits* limits) {
   ByteReader hdr(data, size);
   const uint8_t mode = hdr.u8();
   const uint64_t raw_size = hdr.u64();
   if (!hdr.ok()) return Status::corrupt_stream;
+
+  const ResourceLimits& rl = effective_limits(limits);
+  if (!rl.admits_output(raw_size) || !rl.admits_expansion(size, raw_size))
+    return Status::resource_exhausted;
 
   if (mode == kModeRaw) {
     const uint8_t* p = hdr.raw(raw_size);

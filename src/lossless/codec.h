@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/types.h"
 
 namespace sperr::lossless {
@@ -67,12 +68,18 @@ inline std::vector<uint8_t> compress(const std::vector<uint8_t>& data,
 /// Status::corrupt_block and `*corrupt_block` (when non-null) receives the
 /// zero-based index of the first bad block. Framing-level failures return
 /// corrupt_stream/truncated_stream and leave `*corrupt_block` untouched.
+/// The advertised raw size is gated against `limits` (nullptr = the finite
+/// ResourceLimits::defaults()) *before* the output is sized: a tiny stream
+/// declaring an implausible raw size is answered resource_exhausted, not a
+/// multi-gigabyte allocation.
 Status decompress(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
-                  size_t* corrupt_block = nullptr, int num_threads = 0);
+                  size_t* corrupt_block = nullptr, int num_threads = 0,
+                  const ResourceLimits* limits = nullptr);
 
 inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>& out,
-                         size_t* corrupt_block = nullptr, int num_threads = 0) {
-  return decompress(data.data(), data.size(), out, corrupt_block, num_threads);
+                         size_t* corrupt_block = nullptr, int num_threads = 0,
+                         const ResourceLimits* limits = nullptr) {
+  return decompress(data.data(), data.size(), out, corrupt_block, num_threads, limits);
 }
 
 /// Like decompress(), but keep going past damaged blocks: every block is
@@ -88,7 +95,8 @@ inline Status decompress(const std::vector<uint8_t>& data, std::vector<uint8_t>&
 /// `out` cleared). Reference-framing streams carry no blocks: they decode
 /// all-or-nothing exactly as in decompress().
 Status decompress_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
-                           std::vector<size_t>& bad_blocks, int num_threads = 0);
+                           std::vector<size_t>& bad_blocks, int num_threads = 0,
+                           const ResourceLimits* limits = nullptr);
 
 /// Reference single-block codec: one serial LZ77+Huffman pass over the whole
 /// input, no directory, no checksums (the pre-block-rewrite format).
@@ -98,7 +106,8 @@ inline std::vector<uint8_t> encode_reference(const std::vector<uint8_t>& data) {
   return encode_reference(data.data(), data.size());
 }
 
-Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out);
+Status decode_reference(const uint8_t* data, size_t size, std::vector<uint8_t>& out,
+                        const ResourceLimits* limits = nullptr);
 
 /// Parsed view of a compressed stream's framing (no payload decoding).
 struct BlockInfo {

@@ -20,7 +20,7 @@
 namespace sperr::server {
 
 /// One coherent copy of every counter; the wire layout of the STATS reply
-/// body (216 bytes, docs/PROTOCOL.md) serializes exactly these fields.
+/// body (224 bytes, docs/PROTOCOL.md) serializes exactly these fields.
 struct StatsSnapshot {
   double uptime_seconds = 0.0;  ///< since Server::start()
   uint64_t requests_total = 0;  ///< completed requests (all opcodes, incl. error replies)
@@ -51,11 +51,13 @@ struct StatsSnapshot {
   uint64_t timeouts_read = 0;       ///< connections reaped by the idle/read deadline
   uint64_t timeouts_write = 0;      ///< connections reaped by the write deadline
   uint64_t timeouts_request = 0;    ///< requests answered deadline_exceeded
+  // Resource-limits counter (appended after the hardening block).
+  uint64_t resource_exhausted = 0;  ///< requests answered resource_exhausted
 
-  /// Serialize as the STATS reply body (docs/PROTOCOL.md layout, 216 bytes).
+  /// Serialize as the STATS reply body (docs/PROTOCOL.md layout, 224 bytes).
   [[nodiscard]] std::vector<uint8_t> serialize() const {
     std::vector<uint8_t> out;
-    out.reserve(216);
+    out.reserve(224);
     put_f64(out, uptime_seconds);
     put_u64(out, requests_total);
     put_u64(out, compress_count);
@@ -83,15 +85,17 @@ struct StatsSnapshot {
     put_u64(out, timeouts_read);
     put_u64(out, timeouts_write);
     put_u64(out, timeouts_request);
+    put_u64(out, resource_exhausted);
     return out;
   }
 
   /// Parse a STATS reply body (client side). Accepts the 168-byte
-  /// pre-hardening prefix (extension counters read as zero) and any body
-  /// that at least covers the current 216-byte layout — the growth rule in
+  /// pre-hardening prefix and the 216-byte pre-resource-limits prefix
+  /// (missing extension counters read as zero) and any body that at least
+  /// covers the current 224-byte layout — the growth rule in
   /// docs/PROTOCOL.md appends, never reorders. Returns false otherwise.
   static bool parse(const uint8_t* body, size_t size, StatsSnapshot& out) {
-    if (size != 168 && size < 216) return false;
+    if (size != 168 && size != 216 && size < 224) return false;
     ByteReader br(body, size);
     out.uptime_seconds = br.f64();
     out.requests_total = br.u64();
@@ -122,6 +126,7 @@ struct StatsSnapshot {
       out.timeouts_write = br.u64();
       out.timeouts_request = br.u64();
     }
+    if (size >= 224) out.resource_exhausted = br.u64();
     return br.ok();
   }
 };
@@ -162,6 +167,11 @@ class Metrics {
   void count_timeout_request() {
     std::lock_guard<std::mutex> lk(mu_);
     ++s_.timeouts_request;
+  }
+
+  void count_resource_exhausted() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++s_.resource_exhausted;
   }
 
   /// Record one completed request: its opcode slot, reply verdict, reply

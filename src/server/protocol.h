@@ -18,7 +18,9 @@
 // 2 usage/bad request, 3 corrupt input, 4 verification failure) so scripts
 // and clients share one vocabulary across the CLI and the wire; 5 (busy)
 // and 6 (unsupported protocol version) are server-only extensions — a CLI
-// process is never "busy", a socket peer can be.
+// process is never "busy", a socket peer can be. 8 (resource exhausted)
+// mirrors sperr_cc exit code 5: the request was well-formed but decoding
+// it would exceed the server's configured memory budget.
 
 #include <cstddef>
 #include <cstdint>
@@ -60,6 +62,8 @@ enum class WireStatus : uint8_t {
   busy = 5,                 ///< bounded request queue past its high-water mark
   unsupported_version = 6,  ///< frame's protocol version is not spoken here
   deadline_exceeded = 7,    ///< request missed its compute deadline; work abandoned
+  resource_exhausted = 8,   ///< header-declared output/working set exceeds the
+                            ///< server's ResourceLimits / memory budget
 };
 
 [[nodiscard]] constexpr const char* to_string(WireStatus s) {
@@ -72,6 +76,7 @@ enum class WireStatus : uint8_t {
     case WireStatus::busy: return "busy";
     case WireStatus::unsupported_version: return "unsupported_version";
     case WireStatus::deadline_exceeded: return "deadline_exceeded";
+    case WireStatus::resource_exhausted: return "resource_exhausted";
   }
   return "unknown";
 }
@@ -79,7 +84,9 @@ enum class WireStatus : uint8_t {
 /// Statuses a client may retry automatically (after backoff): the server
 /// refused or abandoned the work without side effects visible on the wire.
 /// Everything else is deterministic — retrying bad_request or corrupt just
-/// repeats the answer.
+/// repeats the answer. resource_exhausted is deliberately NOT retryable:
+/// the rejection is computed from the request's own header against the
+/// server's configured ceilings, so the same bytes get the same answer.
 [[nodiscard]] constexpr bool is_retryable(WireStatus s) {
   return s == WireStatus::busy || s == WireStatus::deadline_exceeded;
 }
@@ -135,10 +142,12 @@ inline constexpr size_t kVerifyReplyHeaderBytes = 12;
 inline constexpr size_t kVerifyChunkRecordBytes = 8;
 
 /// STATS reply body (fixed size, all fields listed in docs/PROTOCOL.md).
-/// Grew from 168 bytes by appending the connection/timeout counters; the
-/// layout never reorders, so clients parse the prefix they know.
-inline constexpr size_t kStatsReplyBytes = 216;
+/// Grew from 168 bytes by appending the connection/timeout counters, then
+/// to 224 by appending the resource_exhausted counter; the layout never
+/// reorders, so clients parse the prefix they know.
+inline constexpr size_t kStatsReplyBytes = 224;
 inline constexpr size_t kStatsReplyBytesV0 = 168;  ///< pre-hardening prefix
+inline constexpr size_t kStatsReplyBytesV1 = 216;  ///< pre-resource-limits prefix
 
 // --- blocking socket I/O helpers (shared by server, bench, tests) -----------
 

@@ -13,11 +13,13 @@
 #include <condition_variable>
 #include <cstring>
 #include <future>
+#include <new>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/arena.h"
 #include "common/byteio.h"
+#include "common/resource.h"
 #include "common/threadpool.h"
 #include "common/timer.h"
 #include "metrics/metrics.h"
@@ -62,17 +64,29 @@ Dims read_dims(ByteReader& br) {
   return d;
 }
 
+/// Map a library decode status onto the wire: resource rejections keep
+/// their identity (clients must not treat a bomb as mere corruption — the
+/// bytes may be pristine), everything else non-ok is corrupt.
+WireStatus decode_wire_status(Status s) {
+  return s == Status::resource_exhausted ? WireStatus::resource_exhausted
+                                         : WireStatus::corrupt;
+}
+
 }  // namespace
 
 struct Server::Impl {
   explicit Impl(ServerConfig c)
       : cfg(std::move(c)),
         workers(std::max(1, cfg.workers)),
-        queue(cfg.queue_capacity) {}
+        queue(cfg.queue_capacity),
+        budget(cfg.max_memory_bytes) {}
 
   ServerConfig cfg;
   const int workers;
   BoundedQueue<Job> queue;
+  /// Global decode pool (see ServerConfig::max_memory_bytes). Only wired
+  /// into request limits when the cap is non-zero.
+  MemoryBudget budget;
   Metrics metrics;
   Timer started;
 
@@ -96,6 +110,24 @@ struct Server::Impl {
   std::atomic<bool> stopping{false};
   bool stopped = false;  // stop() ran to completion (guarded by stop_mu)
   std::mutex stop_mu;
+
+  /// Per-request decode ceilings: the library defaults tightened by the
+  /// server's configured caps, plus the shared pool when one is set. Built
+  /// fresh per request (cheap: a struct copy) so handlers never share
+  /// mutable limit state.
+  [[nodiscard]] ResourceLimits request_limits() {
+    ResourceLimits rl = ResourceLimits::defaults();
+    if (cfg.max_output_bytes > 0) {
+      rl.max_output_bytes = std::min(rl.max_output_bytes, cfg.max_output_bytes);
+      rl.max_working_bytes = std::min(rl.max_working_bytes, cfg.max_output_bytes);
+    }
+    if (cfg.max_memory_bytes > 0) {
+      rl.max_output_bytes = std::min(rl.max_output_bytes, cfg.max_memory_bytes);
+      rl.max_working_bytes = std::min(rl.max_working_bytes, cfg.max_memory_bytes);
+      rl.budget = &budget;
+    }
+    return rl;
+  }
 
   // --- request dispatch (worker side) --------------------------------------
 
@@ -197,14 +229,17 @@ struct Server::Impl {
 
     const uint8_t* blob = body.data() + kDecompressBodyHeaderBytes;
     const size_t blob_len = body.size() - kDecompressBodyHeaderBytes;
+    const ResourceLimits rl = request_limits();
     std::vector<double> field;
     Dims dims;
     const Status s = sperr::decompress_tolerant(blob, blob_len, Recovery(policy),
-                                                field, dims, nullptr);
+                                                field, dims, nullptr, &rl);
     if (s != Status::ok) {
-      r.status = WireStatus::corrupt;
+      r.status = decode_wire_status(s);
       return r;
     }
+    // The reply body (dims + samples at the requested precision) is bounded
+    // by the field the limits just admitted, so no separate gate is needed.
     r.status = WireStatus::ok;
     r.body.reserve(24 + field.size() * precision);
     append_dims(r.body, dims);
@@ -221,8 +256,13 @@ struct Server::Impl {
 
   Reply do_verify(const std::vector<uint8_t>& body) {
     Reply r;
+    const ResourceLimits rl = request_limits();
     DecodeReport rep;
-    const Status s = sperr::verify_container(body.data(), body.size(), &rep);
+    const Status s = sperr::verify_container(body.data(), body.size(), &rep, &rl);
+    if (s == Status::resource_exhausted) {
+      r.status = WireStatus::resource_exhausted;
+      return r;
+    }
     if (!rep.header_ok) {
       r.status = WireStatus::corrupt;
       return r;
@@ -254,14 +294,25 @@ struct Server::Impl {
     const uint8_t* blob = body.data() + kExtractBodyHeaderBytes;
     const size_t blob_len = body.size() - kExtractBodyHeaderBytes;
 
+    const ResourceLimits rl = request_limits();
     detail::OpenedContainer oc;
-    if (detail::open_tolerant(blob, blob_len, Recovery::fail_fast, oc, nullptr) !=
-        Status::ok) {
-      r.status = WireStatus::corrupt;
+    const Status os =
+        detail::open_tolerant(blob, blob_len, Recovery::fail_fast, oc, nullptr, &rl);
+    if (os != Status::ok) {
+      r.status = decode_wire_status(os);
       return r;
     }
     if (index >= oc.chunks.size()) return r;  // bad_request: no such chunk
     const Chunk& chunk = oc.chunks[index];
+    // One decoded chunk plus its reply copy is the working set here; gate it
+    // (and reserve it from the shared pool) before sizing the buffer.
+    const uint64_t chunk_bytes = uint64_t(chunk.dims.total()) * sizeof(double);
+    Reservation budget_hold;
+    if (!rl.admits_output(chunk_bytes) || !rl.admits_working(chunk_bytes) ||
+        !budget_hold.acquire(rl.budget, chunk_bytes)) {
+      r.status = WireStatus::resource_exhausted;
+      return r;
+    }
     std::vector<double> buf(chunk.dims.total(), 0.0);
     const ChunkReport crep = detail::decode_chunk(oc, index, Recovery::fail_fast,
                                                   buf.data(), &tls_arena(),
@@ -334,12 +385,19 @@ struct Server::Impl {
         Timer busy;
         // A worker must outlive any single bad request: library contract
         // violations surface as io_error replies, never as a dead server.
+        // An allocation failure that slipped past the up-front limits is
+        // still a resource answer, not an internal error.
         try {
           reply = dispatch(job);
+        } catch (const std::bad_alloc&) {
+          reply = Reply{};
+          reply.status = WireStatus::resource_exhausted;
         } catch (...) {
           reply = Reply{};
           reply.status = WireStatus::io_error;
         }
+        if (reply.status == WireStatus::resource_exhausted)
+          metrics.count_resource_exhausted();
         metrics.count_request(job.opcode, reply.status != WireStatus::ok,
                               reply.body.size(), wait_s, busy.seconds(),
                               reply.has_stage ? &reply.stage : nullptr);

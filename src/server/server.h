@@ -106,6 +106,22 @@ struct ServerConfig {
   /// < 0 waits for a full drain.
   int drain_deadline_ms = 30'000;
 
+  /// Per-request cap on the decoded output a DECOMPRESS / EXTRACT_CHUNK /
+  /// VERIFY may declare (tightens ResourceLimits::max_output_bytes and
+  /// max_working_bytes). A request whose header declares more is answered
+  /// RESOURCE_EXHAUSTED before any allocation. 0 = the library default
+  /// (ResourceLimits::defaults(), 64 GiB — still finite; there is no way
+  /// to run the server unbounded). `sperr_serve --max-output-mb`.
+  uint64_t max_output_bytes = 0;
+
+  /// Global decode memory pool shared by every worker lane. Each request
+  /// reserves its header-declared working set from this pool for the
+  /// duration of its decode; when concurrent requests would overdraw it,
+  /// the latecomer is answered RESOURCE_EXHAUSTED instead of sinking the
+  /// process. 0 = no shared pool (per-request ceilings still apply).
+  /// `sperr_serve --max-memory-mb`.
+  uint64_t max_memory_bytes = 0;
+
   /// Test hook, called by a worker at the start of processing each job with
   /// the job's opcode. Lets tests hold a worker on a latch to make queue
   /// overflow deterministic. Not used in production.

@@ -68,24 +68,27 @@ Status Reader::open(const uint8_t* data, size_t size, Reader& out) {
 }
 
 Status Reader::extract(const std::string& name, std::vector<double>& out,
-                       Dims& dims) const {
+                       Dims& dims, const ResourceLimits* limits) const {
   const auto* blob = container(name);
   if (!blob) return Status::invalid_argument;
-  return decompress(blob->data(), blob->size(), out, dims);
+  return decompress(blob->data(), blob->size(), out, dims, limits);
 }
 
 Status Reader::extract_tolerant(const std::string& name, Recovery policy,
                                 std::vector<double>& out, Dims& dims,
-                                DecodeReport* report) const {
+                                DecodeReport* report,
+                                const ResourceLimits* limits) const {
   const auto* blob = container(name);
   if (!blob) return Status::invalid_argument;
-  return decompress_tolerant(blob->data(), blob->size(), policy, out, dims, report);
+  return decompress_tolerant(blob->data(), blob->size(), policy, out, dims, report,
+                             limits);
 }
 
-Status Reader::verify(const std::string& name, DecodeReport* report) const {
+Status Reader::verify(const std::string& name, DecodeReport* report,
+                      const ResourceLimits* limits) const {
   const auto* blob = container(name);
   if (!blob) return Status::invalid_argument;
-  return verify_container(blob->data(), blob->size(), report);
+  return verify_container(blob->data(), blob->size(), report, limits);
 }
 
 const std::vector<uint8_t>* Reader::container(const std::string& name) const {

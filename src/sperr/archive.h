@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/types.h"
 #include "sperr/config.h"
 
@@ -55,18 +56,24 @@ class Reader {
   [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
 
   /// Decompress one variable by name; not_found -> invalid_argument.
-  Status extract(const std::string& name, std::vector<double>& out,
-                 Dims& dims) const;
+  /// All three accessors forward `limits` (nullptr = the finite
+  /// ResourceLimits::defaults()) to the underlying decoder, so a hostile
+  /// blob inside an otherwise well-formed archive is answered
+  /// resource_exhausted instead of sizing an allocation from its header.
+  Status extract(const std::string& name, std::vector<double>& out, Dims& dims,
+                 const ResourceLimits* limits = nullptr) const;
 
   /// Fault-isolated extract: sperr::decompress_tolerant semantics on one
   /// variable (damage in other variables' containers does not matter here —
   /// each blob is independent by construction).
   Status extract_tolerant(const std::string& name, Recovery policy,
                           std::vector<double>& out, Dims& dims,
-                          DecodeReport* report = nullptr) const;
+                          DecodeReport* report = nullptr,
+                          const ResourceLimits* limits = nullptr) const;
 
   /// Integrity audit of one variable's container (sperr::verify_container).
-  Status verify(const std::string& name, DecodeReport* report = nullptr) const;
+  Status verify(const std::string& name, DecodeReport* report = nullptr,
+                const ResourceLimits* limits = nullptr) const;
 
   /// Raw container bytes for one variable (for re-bundling / inspection).
   [[nodiscard]] const std::vector<uint8_t>* container(const std::string& name) const;

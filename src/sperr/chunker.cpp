@@ -65,4 +65,16 @@ void scatter_chunk(const double* chunk_data, const Chunk& chunk, double* volume,
     }
 }
 
+void scatter_chunk_narrow(const double* chunk_data, const Chunk& chunk,
+                          float* volume, Dims vol_dims) {
+  const Dims& d = chunk.dims;
+  for (size_t z = 0; z < d.z; ++z)
+    for (size_t y = 0; y < d.y; ++y) {
+      const size_t dst =
+          vol_dims.index(chunk.origin.x, chunk.origin.y + y, chunk.origin.z + z);
+      const double* src = chunk_data + d.index(0, y, z);
+      for (size_t x = 0; x < d.x; ++x) volume[dst + x] = float(src[x]);
+    }
+}
+
 }  // namespace sperr

@@ -5,6 +5,7 @@
 // trailing chunks along each axis absorb the remainder, so neither
 // power-of-two extents nor divisibility is required.
 
+#include <algorithm>
 #include <vector>
 
 #include "common/types.h"
@@ -19,6 +20,20 @@ struct Chunk {
 /// Enumerate the chunk grid in z-major, x-fastest order.
 std::vector<Chunk> make_chunks(Dims volume, Dims preferred);
 
+/// Upper bound on make_chunks(volume, preferred).size(), computable without
+/// materializing the grid. Decoders gate untrusted headers on this before
+/// building the (48-bytes-per-entry) chunk vector: a header declaring huge
+/// extents with tiny chunks must be rejected, not enumerated. Safe for any
+/// plausible_dims volume (counts fit comfortably in 64 bits).
+inline size_t chunk_count_bound(Dims volume, Dims preferred) {
+  const auto per_axis = [](size_t n, size_t pref) {
+    pref = std::min(std::max<size_t>(pref, 1), std::max<size_t>(n, 1));
+    return n / pref + 1;
+  };
+  return per_axis(volume.x, preferred.x) * per_axis(volume.y, preferred.y) *
+         per_axis(volume.z, preferred.z);
+}
+
 /// Copy one chunk out of a volume into a contiguous buffer.
 void gather_chunk(const double* volume, Dims vol_dims, const Chunk& chunk,
                   double* out);
@@ -26,5 +41,10 @@ void gather_chunk(const double* volume, Dims vol_dims, const Chunk& chunk,
 /// Write a contiguous chunk buffer back into its place in the volume.
 void scatter_chunk(const double* chunk_data, const Chunk& chunk,
                    double* volume, Dims vol_dims);
+
+/// scatter_chunk narrowing to float on the way out, for the f32 decode path
+/// (no intermediate full-volume double field).
+void scatter_chunk_narrow(const double* chunk_data, const Chunk& chunk,
+                          float* volume, Dims vol_dims);
 
 }  // namespace sperr

@@ -96,7 +96,8 @@ std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless,
 }
 
 Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
-                        size_t* corrupt_block, uint8_t* version) {
+                        size_t* corrupt_block, uint8_t* version,
+                        const ResourceLimits* limits) {
   ByteReader br(data, size);
   if (br.u32() != ContainerHeader::kOuterMagic) return Status::corrupt_stream;
   const uint8_t ver = br.u8();
@@ -109,20 +110,33 @@ Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& 
   const uint8_t* payload = br.raw(len);
   if (!payload) return Status::truncated_stream;
 
-  if (lossless_flag) return lossless::decompress(payload, len, inner, corrupt_block);
+  if (lossless_flag)
+    return lossless::decompress(payload, len, inner, corrupt_block,
+                                /*num_threads=*/0, limits);
   inner.assign(payload, payload + len);
   return Status::ok;
 }
 
 Status open_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
                       ContainerHeader& hdr, size_t* payload_pos,
-                      size_t* corrupt_block) {
+                      size_t* corrupt_block, const ResourceLimits* limits) {
   uint8_t version = ContainerHeader::kVersion;
-  if (const Status s = unwrap_container(data, size, inner, corrupt_block, &version);
+  if (const Status s =
+          unwrap_container(data, size, inner, corrupt_block, &version, limits);
       s != Status::ok)
     return s;
   ByteReader br(inner.data(), inner.size());
   if (const Status s = hdr.deserialize(br, version); s != Status::ok) return s;
+  // The directory parsed, so the chunk count is real — but decoding admits
+  // one buffer per chunk, so an absurd count is rejected before any of that.
+  if (!effective_limits(limits).admits_chunks(hdr.entries.size()))
+    return Status::resource_exhausted;
+  // The declared extents size every downstream buffer; admit them here so
+  // even header-only consumers (sperr_cc info) refuse a bomb. deserialize
+  // capped dims at kMaxVolumeElements, so the product cannot overflow.
+  const uint64_t declared = uint64_t(hdr.dims.total()) * hdr.precision;
+  if (!effective_limits(limits).admits_output(declared))
+    return Status::resource_exhausted;
   if (payload_pos) *payload_pos = br.pos();
   return Status::ok;
 }

@@ -82,16 +82,22 @@ std::vector<uint8_t> wrap_container(std::vector<uint8_t> inner, bool lossless,
 /// the lossless payload fails a per-block checksum the return is
 /// Status::corrupt_block and `*corrupt_block` (if non-null) names the block.
 /// `*version` (if non-null) receives the outer wrapper's version byte.
+/// The lossless payload's declared raw size is admitted against `limits`
+/// (nullptr = ResourceLimits::defaults()) before the inner buffer is sized;
+/// a violation returns Status::resource_exhausted.
 Status unwrap_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
-                        size_t* corrupt_block = nullptr, uint8_t* version = nullptr);
+                        size_t* corrupt_block = nullptr, uint8_t* version = nullptr,
+                        const ResourceLimits* limits = nullptr);
 
 /// unwrap_container + ContainerHeader::deserialize in one step (the common
 /// prologue of every decoder). On success `inner` holds the container bytes,
 /// `hdr` the parsed header (hdr.version set from the wrapper), and
 /// `*payload_pos` (if non-null) the offset of the first chunk stream within
-/// `inner`.
+/// `inner`. Consults `limits` before any header-sized allocation: the
+/// lossless raw size and the declared chunk count are both admitted first.
 Status open_container(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
                       ContainerHeader& hdr, size_t* payload_pos = nullptr,
-                      size_t* corrupt_block = nullptr);
+                      size_t* corrupt_block = nullptr,
+                      const ResourceLimits* limits = nullptr);
 
 }  // namespace sperr

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -238,7 +239,8 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
 }
 
 Status decompress_file(const std::string& in_path, const std::string& out_path,
-                       int precision, Recovery policy, DecodeReport* report) try {
+                       int precision, Recovery policy, DecodeReport* report,
+                       const ResourceLimits* limits) try {
   DecodeReport local;
   DecodeReport& rep = report ? *report : local;
   rep = DecodeReport{};
@@ -253,11 +255,27 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
   // Same fault-isolated core as the in-memory decoder; only the chunk loop
   // differs (serial, one decoded chunk resident, streamed to disk).
   sperr::detail::OpenedContainer oc;
-  if (const Status s =
-          sperr::detail::open_tolerant(blob.data(), blob.size(), policy, oc, &rep);
+  if (const Status s = sperr::detail::open_tolerant(blob.data(), blob.size(),
+                                                    policy, oc, &rep, limits);
       s != Status::ok) {
     rep.status = s;
     return s;
+  }
+
+  // The header extents size the pre-allocated temp file below (a disk
+  // bomb) and the per-chunk decode buffer (a memory bomb): admit both
+  // before touching either. One chunk of doubles is the working set.
+  const ResourceLimits& rl = effective_limits(limits);
+  const uint64_t out_bytes = uint64_t(oc.hdr.dims.total()) * uint64_t(precision);
+  uint64_t chunk_bytes = 0;
+  for (const Chunk& c : oc.chunks)
+    chunk_bytes =
+        std::max<uint64_t>(chunk_bytes, uint64_t(c.dims.total()) * sizeof(double));
+  Reservation budget_hold;
+  if (!rl.admits_output(out_bytes) || !rl.admits_working(chunk_bytes) ||
+      !budget_hold.acquire(rl.budget, chunk_bytes)) {
+    rep.status = Status::resource_exhausted;
+    return rep.status;
   }
 
   // Pre-size a temp file, fill it chunk by chunk, and only rename it over
@@ -336,8 +354,8 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
   rep.field_valid = true;
   return Status::ok;
 } catch (const std::bad_alloc&) {
-  if (report) report->status = Status::corrupt_stream;
-  return Status::corrupt_stream;
+  if (report) report->status = Status::resource_exhausted;
+  return Status::resource_exhausted;
 }
 
 }  // namespace sperr::outofcore

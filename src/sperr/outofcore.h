@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "common/resource.h"
 #include "common/types.h"
 #include "sperr/config.h"
 
@@ -61,8 +62,12 @@ Status decompress_file(const std::string& in_path, const std::string& out_path,
 /// fill policies every chunk is written, damaged ones patched per `policy`,
 /// and the good chunks are bit-identical to a clean decode. `report`, when
 /// non-null, receives the same per-chunk verdicts as the in-memory API.
+/// `limits` (nullptr = ResourceLimits::defaults()) gates the header-declared
+/// output size — here that is *disk* the pre-sized temp file would claim —
+/// and every in-memory allocation, exactly as the in-memory decoders do.
 Status decompress_file(const std::string& in_path, const std::string& out_path,
                        int precision, Recovery policy,
-                       DecodeReport* report = nullptr);
+                       DecodeReport* report = nullptr,
+                       const ResourceLimits* limits = nullptr);
 
 }  // namespace sperr::outofcore

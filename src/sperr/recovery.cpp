@@ -33,7 +33,8 @@ namespace {
 /// possible. Corrupt lossless blocks are zero-filled (recorded in
 /// `bad_blocks`); a payload shorter than advertised yields its prefix.
 Status unwrap_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& inner,
-                       std::vector<size_t>& bad_blocks, uint8_t* version) {
+                       std::vector<size_t>& bad_blocks, uint8_t* version,
+                       const ResourceLimits* limits) {
   ByteReader br(data, size);
   if (br.u32() != ContainerHeader::kOuterMagic) return Status::corrupt_stream;
   const uint8_t ver = br.u8();
@@ -47,7 +48,8 @@ Status unwrap_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& i
   const uint8_t* payload = br.base() + br.pos();
 
   if (lossless_flag) {
-    const Status s = lossless::decompress_tolerant(payload, avail, inner, bad_blocks);
+    const Status s = lossless::decompress_tolerant(payload, avail, inner, bad_blocks,
+                                                   /*num_threads=*/0, limits);
     // corrupt_block means the framing held and the good blocks decoded —
     // recoverable. Anything else destroyed the lossless framing itself.
     return s == Status::corrupt_block ? Status::ok : s;
@@ -59,17 +61,18 @@ Status unwrap_tolerant(const uint8_t* data, size_t size, std::vector<uint8_t>& i
 }  // namespace
 
 Status open_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
-                     OpenedContainer& oc, DecodeReport* report) {
+                     OpenedContainer& oc, DecodeReport* report,
+                     const ResourceLimits* limits) {
   uint8_t version = ContainerHeader::kVersion;
   Status s;
   if (policy == Recovery::fail_fast) {
     size_t bad_block = 0;
-    s = unwrap_container(stream, nbytes, oc.inner, &bad_block, &version);
+    s = unwrap_container(stream, nbytes, oc.inner, &bad_block, &version, limits);
     if (s == Status::corrupt_block && report)
       report->lossless_bad_blocks.push_back(bad_block);
   } else {
     std::vector<size_t> bad_blocks;
-    s = unwrap_tolerant(stream, nbytes, oc.inner, bad_blocks, &version);
+    s = unwrap_tolerant(stream, nbytes, oc.inner, bad_blocks, &version, limits);
     if (report) report->lossless_bad_blocks = std::move(bad_blocks);
   }
   if (report) report->version = version;
@@ -77,6 +80,15 @@ Status open_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
 
   ByteReader br(oc.inner.data(), oc.inner.size());
   if (const Status hs = oc.hdr.deserialize(br, version); hs != Status::ok) return hs;
+
+  // Both chunk counts are header-declared: the directory's entry count and
+  // the grid the extents imply. Admit both before sizing anything from them
+  // (enumerating the grid of a huge-dims/tiny-chunks header is itself a
+  // multi-gigabyte allocation).
+  const ResourceLimits& rl = effective_limits(limits);
+  if (!rl.admits_chunks(oc.hdr.entries.size()) ||
+      !rl.admits_chunks(chunk_count_bound(oc.hdr.dims, oc.hdr.chunk_dims)))
+    return Status::resource_exhausted;
 
   oc.chunks = make_chunks(oc.hdr.dims, oc.hdr.chunk_dims);
   if (oc.chunks.size() != oc.hdr.entries.size()) return Status::corrupt_stream;
@@ -197,7 +209,7 @@ ChunkReport decode_chunk(const OpenedContainer& oc, size_t i, Recovery policy,
 
 Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
                            std::vector<double>& out, Dims& dims,
-                           DecodeReport* report) try {
+                           DecodeReport* report, const ResourceLimits* limits) try {
   DecodeReport local;
   DecodeReport& rep = report ? *report : local;
   rep = DecodeReport{};
@@ -205,11 +217,26 @@ Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy
   Timer timer;
 
   detail::OpenedContainer oc;
-  if (const Status s = detail::open_tolerant(stream, nbytes, policy, oc, &rep);
+  if (const Status s =
+          detail::open_tolerant(stream, nbytes, policy, oc, &rep, limits);
       s != Status::ok) {
     rep.status = s;
     rep.seconds = timer.seconds();
     return s;
+  }
+
+  // The header parsed, but its extents size the output field — admit them
+  // (and carve them from the shared budget, when one is attached) before
+  // the assign below commits the allocation. The per-chunk scratch buffers
+  // are bounded by the largest chunk, itself bounded by the field.
+  const ResourceLimits& rl = effective_limits(limits);
+  const uint64_t field_bytes = uint64_t(oc.hdr.dims.total()) * sizeof(double);
+  Reservation budget_hold;
+  if (!rl.admits_output(field_bytes) || !rl.admits_working(field_bytes) ||
+      !budget_hold.acquire(rl.budget, field_bytes)) {
+    rep.status = Status::resource_exhausted;
+    rep.seconds = timer.seconds();
+    return rep.status;
   }
 
   dims = oc.hdr.dims;
@@ -251,13 +278,14 @@ Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy
   rep.seconds = timer.seconds();
   return rep.status;
 } catch (const std::bad_alloc&) {
-  // Untrusted headers can request absurd extents; treat OOM as corruption.
-  if (report) report->status = Status::corrupt_stream;
-  return Status::corrupt_stream;
+  // Belt and braces: the limits above should have rejected anything this
+  // large, but a genuinely out-of-memory machine still gets an answer.
+  if (report) report->status = Status::resource_exhausted;
+  return Status::resource_exhausted;
 }
 
 Status verify_container(const uint8_t* stream, size_t nbytes,
-                        DecodeReport* report) try {
+                        DecodeReport* report, const ResourceLimits* limits) try {
   DecodeReport local;
   DecodeReport& rep = report ? *report : local;
   rep = DecodeReport{};
@@ -265,8 +293,8 @@ Status verify_container(const uint8_t* stream, size_t nbytes,
   Timer timer;
 
   detail::OpenedContainer oc;
-  if (const Status s =
-          detail::open_tolerant(stream, nbytes, Recovery::zero_fill, oc, &rep);
+  if (const Status s = detail::open_tolerant(stream, nbytes, Recovery::zero_fill,
+                                             oc, &rep, limits);
       s != Status::ok) {
     rep.status = s;
     rep.seconds = timer.seconds();
@@ -285,8 +313,8 @@ Status verify_container(const uint8_t* stream, size_t nbytes,
   rep.seconds = timer.seconds();
   return rep.status;
 } catch (const std::bad_alloc&) {
-  if (report) report->status = Status::corrupt_stream;
-  return Status::corrupt_stream;
+  if (report) report->status = Status::resource_exhausted;
+  return Status::resource_exhausted;
 }
 
 }  // namespace sperr

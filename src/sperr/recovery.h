@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/resource.h"
 #include "common/types.h"
 #include "sperr/chunker.h"
 #include "sperr/header.h"
@@ -40,9 +41,12 @@ struct OpenedContainer {
 /// available prefix. Fills the container-level fields of `report` (header_ok,
 /// version, lossless_bad_blocks) when non-null. Returns != ok only when
 /// nothing is salvageable (wrapper, header, or directory destroyed — or, in
-/// fail_fast mode, any lossless-block corruption).
+/// fail_fast mode, any lossless-block corruption). `limits` (nullptr =
+/// ResourceLimits::defaults()) gates the lossless raw size and the declared
+/// chunk count before either sizes an allocation (resource_exhausted).
 Status open_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
-                     OpenedContainer& oc, DecodeReport* report);
+                     OpenedContainer& oc, DecodeReport* report,
+                     const ResourceLimits* limits = nullptr);
 
 /// Verify + decode chunk `i` of `oc` into `buf` (chunks[i].dims.total()
 /// doubles, caller-zeroed), honoring `policy` for damaged chunks. Pure

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/types.h"
 #include "sperr/config.h"
 
@@ -40,10 +41,18 @@ std::vector<uint8_t> compress(const float* data, Dims dims, const Config& cfg,
 
 /// Decompress a container produced by compress(). `out` is resized; `dims`
 /// receives the original extents.
+///
+/// Every decode entry point below takes an optional `limits`
+/// (common/resource.h): header-declared resource needs — output bytes,
+/// lossless raw size, chunk counts — are admitted against it *before* any
+/// allocation is sized from them, and a violation returns
+/// Status::resource_exhausted. nullptr means ResourceLimits::defaults(),
+/// which is finite: decoding fully untrusted bytes is safe by default, and
+/// unbounded decoding requires opting in via ResourceLimits::unlimited().
 Status decompress(const uint8_t* stream, size_t nbytes, std::vector<double>& out,
-                  Dims& dims);
+                  Dims& dims, const ResourceLimits* limits = nullptr);
 Status decompress(const uint8_t* stream, size_t nbytes, std::vector<float>& out,
-                  Dims& dims);
+                  Dims& dims, const ResourceLimits* limits = nullptr);
 
 /// Fault-isolated decompression. Chunks are independent streams and v3
 /// containers checksum each one, so a damaged archive is salvageable: every
@@ -63,7 +72,8 @@ Status decompress(const uint8_t* stream, size_t nbytes, std::vector<float>& out,
 /// structural damage (bad lengths, truncation) is detectable.
 Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy,
                            std::vector<double>& out, Dims& dims,
-                           DecodeReport* report = nullptr);
+                           DecodeReport* report = nullptr,
+                           const ResourceLimits* limits = nullptr);
 
 /// Integrity audit without reconstruction: unwrap the lossless layer, check
 /// the header self-checksum, and verify every chunk's XXH64. Much cheaper
@@ -72,7 +82,8 @@ Status decompress_tolerant(const uint8_t* stream, size_t nbytes, Recovery policy
 /// per-chunk verdicts land in `report`). v1/v2 containers verify lengths
 /// only (checksum_present = false in their chunk reports).
 Status verify_container(const uint8_t* stream, size_t nbytes,
-                        DecodeReport* report = nullptr);
+                        DecodeReport* report = nullptr,
+                        const ResourceLimits* limits = nullptr);
 
 /// Multi-resolution decompression (paper §VII): reconstruct the field at a
 /// coarsened resolution by stopping the inverse wavelet recursion
@@ -83,7 +94,8 @@ Status verify_container(const uint8_t* stream, size_t nbytes,
 /// corrections are not applied — they live on the fine grid and are within
 /// the tolerance by construction).
 Status decompress_lowres(const uint8_t* stream, size_t nbytes, size_t drop_levels,
-                         std::vector<double>& out, Dims& coarse_dims);
+                         std::vector<double>& out, Dims& coarse_dims,
+                         const ResourceLimits* limits = nullptr);
 
 /// Truncate a fixed-rate container to a lower bitrate without recompressing
 /// (paper §VII: the SPECK stream is embedded, so any prefix decodes). Only

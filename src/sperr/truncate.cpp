@@ -77,7 +77,7 @@ Status truncate_fixed_rate(const uint8_t* stream, size_t nbytes, double new_bpp,
   out = wrap_container(std::move(new_inner), true);
   return Status::ok;
 } catch (const std::bad_alloc&) {
-  return Status::corrupt_stream;
+  return Status::resource_exhausted;
 }
 
 }  // namespace sperr

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <string>
@@ -14,8 +18,13 @@
 #include "baselines/szlike/compressor.h"
 #include "baselines/tthreshlike/compressor.h"
 #include "baselines/zfplike/compressor.h"
+#include "common/byteio.h"
+#include "common/resource.h"
 #include "common/rng.h"
 #include "data/synthetic.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+#include "server/server.h"
 #include "lossless/codec.h"
 #include "outlier/coder.h"
 #include "speck/common.h"
@@ -601,6 +610,277 @@ TEST(Robustness, BaselineDecodersSurviveFuzz) {
                  Dims od;
                  (void)tthreshlike::decompress(bytes.data(), bytes.size(), out, od);
                });
+}
+
+// ---------------------------------------------------------------------------
+// Decompression-bomb defense (common/resource.h). A bomb is a tiny,
+// well-formed stream whose *header* declares enormous decoded output; the
+// contract is that every decode entry point answers Status::resource_exhausted
+// from the header alone — quickly, and without sizing a single allocation
+// from the hostile declaration.
+
+/// Hand-crafted v2 container: outer wrapper + inner header + one zero-length
+/// chunk entry. The declared dims / chunk grid are the payload-free bomb.
+std::vector<uint8_t> bomb_container(Dims dims, Dims chunk_dims) {
+  std::vector<uint8_t> inner;
+  put_u32(inner, 0x43525053);  // 'SPRC'
+  put_u8(inner, 0);            // mode = pwe
+  put_u8(inner, 8);            // precision = f64
+  put_u64(inner, dims.x);
+  put_u64(inner, dims.y);
+  put_u64(inner, dims.z);
+  put_u64(inner, chunk_dims.x);
+  put_u64(inner, chunk_dims.y);
+  put_u64(inner, chunk_dims.z);
+  put_f64(inner, 1e-6);  // quality
+  put_u32(inner, 1);     // nchunks
+  put_u64(inner, 0);     // entry 0: speck_len
+  put_u64(inner, 0);     // entry 0: outlier_len
+
+  std::vector<uint8_t> out;
+  put_u32(out, 0x5a525053);  // 'SPRZ'
+  put_u8(out, 2);            // v2: no header checksum to forge
+  put_u8(out, 0);            // lossless pass: off
+  put_u64(out, inner.size());
+  out.insert(out.end(), inner.begin(), inner.end());
+  return out;
+}
+
+/// Reference lossless framing declaring `raw_size` decoded bytes out of a
+/// 25-byte stream.
+std::vector<uint8_t> bomb_reference_stream(uint64_t raw_size) {
+  std::vector<uint8_t> s;
+  put_u8(s, 1);  // kModeLz
+  put_u64(s, raw_size);
+  for (int i = 0; i < 16; ++i) put_u8(s, 0xa5);
+  return s;
+}
+
+/// Run `fn` and require it to answer resource_exhausted within `budget_ms`
+/// of wall clock — a bomb rejection must cost header-parse time, not
+/// allocation or decode time.
+template <class Fn>
+void expect_fast_rejection(const char* what, Fn&& fn, int64_t budget_ms = 250) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status s = fn();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_EQ(s, Status::resource_exhausted) << what;
+  EXPECT_LT(ms, budget_ms) << what << " took " << ms << " ms to reject";
+}
+
+[[nodiscard]] long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+TEST(ResourceLimits, MemoryBudgetGrantsAtomicallyAndReleases) {
+  MemoryBudget pool(1000);
+  EXPECT_TRUE(pool.try_reserve(600));
+  EXPECT_EQ(pool.used(), 600u);
+  EXPECT_FALSE(pool.try_reserve(401));  // over by one: no partial debit
+  EXPECT_EQ(pool.used(), 600u);
+  EXPECT_TRUE(pool.try_reserve(400));
+  EXPECT_EQ(pool.available(), 0u);
+  pool.release(1000);
+  EXPECT_EQ(pool.used(), 0u);
+
+  // Reservation RAII: the grant dies with the object.
+  {
+    Reservation r;
+    EXPECT_TRUE(r.acquire(&pool, 999));
+    EXPECT_EQ(pool.used(), 999u);
+    Reservation moved = std::move(r);
+    EXPECT_EQ(pool.used(), 999u);  // move transfers, never double-releases
+  }
+  EXPECT_EQ(pool.used(), 0u);
+
+  // Null budget: always granted, nothing tracked.
+  Reservation r;
+  EXPECT_TRUE(r.acquire(nullptr, UINT64_MAX));
+}
+
+TEST(ResourceLimits, ExpansionCheckSurvivesOverflowingDeclarations) {
+  const ResourceLimits& rl = ResourceLimits::defaults();
+  // A 25-byte stream declaring UINT64_MAX raw must not overflow the check.
+  EXPECT_FALSE(rl.admits_expansion(25, UINT64_MAX));
+  EXPECT_FALSE(rl.admits_expansion(0, uint64_t(2) << 20));
+  // The 1 MiB floor: tiny legitimate streams are never pinched.
+  EXPECT_TRUE(rl.admits_expansion(1, uint64_t(1) << 20));
+  // The encoder's own per-block bound (4096x) passes exactly.
+  EXPECT_TRUE(rl.admits_expansion(1 << 10, uint64_t(4096) << 10));
+}
+
+TEST(Robustness, BombHugeDimsRejectedFastByEveryDecoder) {
+  // 96 bytes declaring 2^21 x 2^21 x 1 doubles = 32 TiB of output.
+  const auto bomb =
+      bomb_container({size_t(1) << 21, size_t(1) << 21, 1}, {256, 256, 256});
+  ASSERT_LE(bomb.size(), size_t(1024));
+  const long rss_before = peak_rss_kb();
+
+  expect_fast_rejection("decompress<double>", [&] {
+    std::vector<double> out;
+    Dims od;
+    return decompress(bomb.data(), bomb.size(), out, od);
+  });
+  expect_fast_rejection("decompress<float>", [&] {
+    std::vector<float> out;
+    Dims od;
+    return decompress(bomb.data(), bomb.size(), out, od);
+  });
+  expect_fast_rejection("decompress_tolerant", [&] {
+    std::vector<double> out;
+    Dims od;
+    return decompress_tolerant(bomb.data(), bomb.size(), Recovery::zero_fill,
+                               out, od);
+  });
+  expect_fast_rejection("verify_container", [&] {
+    return verify_container(bomb.data(), bomb.size());
+  });
+  expect_fast_rejection("decompress_lowres", [&] {
+    std::vector<double> out;
+    Dims od;
+    return decompress_lowres(bomb.data(), bomb.size(), 1, out, od);
+  });
+
+  // None of the rejections may have touched the declared 32 TiB: peak RSS
+  // must not have grown by more than scratch noise.
+  EXPECT_LT(peak_rss_kb() - rss_before, 64 * 1024)
+      << "bomb rejection grew peak RSS";
+}
+
+TEST(Robustness, BombChunkGridExplosionRejected) {
+  // Plausible output size, but 2^32 one-voxel chunks: enumerating the grid
+  // (32 bytes of directory bookkeeping per chunk) is itself the bomb.
+  const auto bomb =
+      bomb_container({size_t(1) << 20, size_t(1) << 12, 1}, {1, 1, 1});
+  expect_fast_rejection("chunk-grid bomb", [&] {
+    std::vector<double> out;
+    Dims od;
+    return decompress(bomb.data(), bomb.size(), out, od);
+  });
+  expect_fast_rejection("chunk-grid bomb (verify)", [&] {
+    return verify_container(bomb.data(), bomb.size());
+  });
+}
+
+TEST(Robustness, BombLosslessRawSizeRejected) {
+  // The reference framing's declared raw size is gated against the
+  // expansion cap immediately: 25 bytes cannot legitimately decode to 2 TiB.
+  const auto stream = bomb_reference_stream(uint64_t(1) << 41);
+  expect_fast_rejection("lossless reference bomb", [&] {
+    std::vector<uint8_t> out;
+    return lossless::decompress(stream, out);
+  });
+
+  // The same stream smuggled in as a container's lossless payload.
+  std::vector<uint8_t> container;
+  put_u32(container, 0x5a525053);  // 'SPRZ'
+  put_u8(container, 3);
+  put_u8(container, 1);  // lossless pass: on
+  put_u64(container, stream.size());
+  container.insert(container.end(), stream.begin(), stream.end());
+  expect_fast_rejection("container-wrapped lossless bomb", [&] {
+    std::vector<double> out;
+    Dims od;
+    return decompress(container.data(), container.size(), out, od);
+  });
+}
+
+TEST(Robustness, BombTightLimitsRejectLegitimateOversize) {
+  // The per-call ceilings work on honest streams too: a valid container
+  // whose decoded field exceeds a caller's ResourceLimits is refused
+  // before decode, not after.
+  const auto blob = make_blob();  // 24*24*12 doubles = 54 KiB decoded
+  ResourceLimits tight;
+  tight.max_output_bytes = 16 << 10;
+  tight.max_working_bytes = 16 << 10;
+  std::vector<double> out;
+  Dims od;
+  EXPECT_EQ(decompress(blob.data(), blob.size(), out, od, &tight),
+            Status::resource_exhausted);
+  // Under the defaults the same bytes decode fine.
+  EXPECT_EQ(decompress(blob.data(), blob.size(), out, od), Status::ok);
+}
+
+TEST(Robustness, BombServerAnswersResourceExhaustedOnWire) {
+  using namespace server;
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.queue_capacity = 4;
+  Server srv(sc);
+  ASSERT_EQ(srv.start(), Status::ok);
+  const int fd = connect_loopback(srv.port());
+  ASSERT_GE(fd, 0);
+
+  const auto bomb =
+      bomb_container({size_t(1) << 21, size_t(1) << 21, 1}, {256, 256, 256});
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  const auto t0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(roundtrip(fd, Opcode::decompress, 1,
+                        build_decompress_body(0, 8, bomb.data(), bomb.size()),
+                        h, reply));
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_EQ(h.code, uint8_t(WireStatus::resource_exhausted));
+  EXPECT_TRUE(reply.empty());
+  EXPECT_LT(ms, 250) << "wire bomb rejection took " << ms << " ms";
+
+  // A bomb is an answered request, not a dropped connection: the same
+  // socket keeps working, and STATS accounts the rejection.
+  ASSERT_TRUE(roundtrip(fd, Opcode::verify, 2, bomb, h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::resource_exhausted));
+  ASSERT_TRUE(roundtrip(fd, Opcode::stats, 3, {}, h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::ok));
+  StatsSnapshot snap;
+  ASSERT_TRUE(StatsSnapshot::parse(reply.data(), reply.size(), snap));
+  EXPECT_EQ(snap.resource_exhausted, 2u);
+  EXPECT_EQ(snap.errors, 2u);
+  ::close(fd);
+}
+
+TEST(Robustness, BombServerMemoryBudgetBoundsHonestRequests) {
+  using namespace server;
+  const auto blob = make_blob();  // decodes to 54 KiB
+
+  // A per-request output ceiling below the honest decode size: status 8.
+  ServerConfig sc;
+  sc.workers = 1;
+  sc.queue_capacity = 4;
+  sc.max_output_bytes = 16 << 10;
+  Server srv(sc);
+  ASSERT_EQ(srv.start(), Status::ok);
+  const int fd = connect_loopback(srv.port());
+  ASSERT_GE(fd, 0);
+  FrameHeader h;
+  std::vector<uint8_t> reply;
+  ASSERT_TRUE(roundtrip(fd, Opcode::decompress, 1,
+                        build_decompress_body(0, 8, blob.data(), blob.size()),
+                        h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::resource_exhausted));
+  ::close(fd);
+
+  // A generous ceiling admits the same request.
+  ServerConfig ok_cfg;
+  ok_cfg.workers = 1;
+  ok_cfg.queue_capacity = 4;
+  ok_cfg.max_output_bytes = 1 << 20;
+  ok_cfg.max_memory_bytes = 4 << 20;
+  Server ok_srv(ok_cfg);
+  ASSERT_EQ(ok_srv.start(), Status::ok);
+  const int fd2 = connect_loopback(ok_srv.port());
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(roundtrip(fd2, Opcode::decompress, 1,
+                        build_decompress_body(0, 8, blob.data(), blob.size()),
+                        h, reply));
+  EXPECT_EQ(h.code, uint8_t(WireStatus::ok));
+  // Reply = 24-byte dims prefix + the decoded f64 field.
+  EXPECT_EQ(reply.size(), 24 + size_t(24) * 24 * 12 * 8);
+  ::close(fd2);
 }
 
 }  // namespace

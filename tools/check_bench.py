@@ -50,7 +50,7 @@ import sys
 BOOL_KEYS = ("round_trip_ok", "bit_identical", "parallel_bit_identical",
              "recovery_ok", "responses_identical", "backpressure_ok",
              "timeouts_read_ok", "timeouts_request_ok", "conns_rejected_ok",
-             "traffic_ok")
+             "bomb_rejected_ok", "budget_enforced_ok", "traffic_ok")
 RATE_SUFFIXES = ("_mbps", "_mvox_s", "_per_s")  # higher better, dims-gated
 SMALL_RATIO_KEYS = ("tolerant_overhead", "verify_vs_decode")  # lower better
 SMALL_RATIO_SLACK = 0.02

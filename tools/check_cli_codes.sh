@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Asserts the sperr_cc exit-code contract (documented at the top of
 # tools/sperr_cc.cpp): 0 success, 1 I/O error, 2 usage error, 3 corrupt
-# input. Also checks that `info --verify` prints one verdict line per chunk
+# input, 5 resource limit exceeded (decompression bomb or --max-output-mb).
+# Also checks that `info --verify` prints one verdict line per chunk
 # and that `--recover` survives a damaged archive. Run as a ctest:
 #
 #   check_cli_codes.sh SPERR_CC MAKE_FIELD WORKDIR
@@ -73,6 +74,30 @@ grep -q 'checksum BAD' "$WORK/out.txt" || {
   fails=$((fails + 1))
 }
 expect 3 "garbage input" -- "$SPERR_CC" d "$WORK/field.raw" "$WORK/x.raw"
+
+# --- exit 5: resource limits -------------------------------------------------
+# The committed bomb corpus: 96 bytes declaring a 32 TiB decode. Both the
+# decoder and the header-only info path must refuse it with exit 5 — and
+# fast (an exit-5 that took a minute would mean something was allocated).
+BOMB="$(dirname "$0")/fuzz/corpus/container/bomb_dims.sperr"
+if [ ! -f "$BOMB" ]; then
+  echo "FAIL: bomb corpus file missing: $BOMB" >&2
+  fails=$((fails + 1))
+else
+  expect 5 "decompress bomb container" -- "$SPERR_CC" d "$BOMB" "$WORK/bomb.raw"
+  expect 5 "info bomb container" -- "$SPERR_CC" info "$BOMB"
+fi
+
+# --max-output-mb binds on honest archives too: a 64^3 f64 field decodes to
+# 2 MiB, so a 1 MiB ceiling refuses it and a 16 MiB ceiling admits it.
+"$MAKE_FIELD" miranda_pressure 64 64 64 "$WORK/big.raw" --type f64 >/dev/null \
+  || { echo "FAIL: make_field (64^3)" >&2; exit 1; }
+expect 0 "compress 64^3" -- "$SPERR_CC" c "$WORK/big.raw" "$WORK/big.sperr" \
+  --dims 64 64 64 --type f64 --idx 18
+expect 5 "decompress past --max-output-mb" -- "$SPERR_CC" d "$WORK/big.sperr" \
+  "$WORK/big_out.raw" --max-output-mb 1
+expect 0 "decompress within --max-output-mb" -- "$SPERR_CC" d "$WORK/big.sperr" \
+  "$WORK/big_out.raw" --max-output-mb 16
 
 # --- recovery: damaged archive, zero-fill still succeeds ---------------------
 expect 0 "decompress --recover zero" -- "$SPERR_CC" d "$WORK/bad.sperr" \

@@ -1,0 +1,42 @@
+// Fuzz target: the blocked lossless codec's three decode paths — strict,
+// tolerant (zero-fill salvage), and the legacy reference framing — plus the
+// directory-only inspect() used by `sperr_cc info`. All three entropy tags
+// (raw / Huffman / arithmetic) are reachable: the per-block tag byte comes
+// straight from the fuzzed directory. Tight ResourceLimits keep a declared
+// multi-gigabyte raw size an O(1) rejection.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/resource.h"
+#include "lossless/codec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  sperr::ResourceLimits rl = sperr::ResourceLimits::defaults();
+  rl.max_output_bytes = uint64_t(1) << 24;  // 16 MiB
+  rl.max_working_bytes = uint64_t(1) << 24;
+  rl.max_chunks = uint64_t(1) << 12;        // also bounds lossless block count
+
+  {
+    std::vector<uint8_t> out;
+    size_t corrupt_block = 0;
+    (void)sperr::lossless::decompress(data, size, out, &corrupt_block,
+                                      /*num_threads=*/1, &rl);
+  }
+  {
+    std::vector<uint8_t> out;
+    std::vector<size_t> bad_blocks;
+    (void)sperr::lossless::decompress_tolerant(data, size, out, bad_blocks,
+                                               /*num_threads=*/1, &rl);
+  }
+  {
+    std::vector<uint8_t> out;
+    (void)sperr::lossless::decode_reference(data, size, out, &rl);
+  }
+  {
+    sperr::lossless::StreamInfo info;
+    (void)sperr::lossless::inspect(data, size, info);
+  }
+  return 0;
+}

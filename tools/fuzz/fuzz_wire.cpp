@@ -1,0 +1,24 @@
+// Fuzz target: wire-frame and STATS-body parsing — the pure byte-level
+// parsers a hostile client controls before any request reaches a worker.
+// parse_frame_header consumes exactly kFrameHeaderBytes; StatsSnapshot::
+// parse must reject every length except the documented growth points
+// (168 / 216 / >= 224) without reading out of bounds.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace sperr::server;
+  if (size >= kFrameHeaderBytes) {
+    const FrameHeader h = parse_frame_header(data);
+    // Exercise the classifier helpers on whatever the bytes decoded to.
+    (void)to_string(WireStatus(h.code));
+    (void)is_retryable(WireStatus(h.code));
+  }
+  StatsSnapshot snap;
+  (void)StatsSnapshot::parse(data, size, snap);
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Replay the committed fuzz corpus through every standalone harness binary.
+# Ctest entry point (fuzz_regression): exits non-zero when any harness
+# crashes, reports a sanitizer error, or a corpus directory is missing —
+# an empty corpus would silently test nothing.
+#
+#   usage: run_regression.sh BIN_DIR CORPUS_DIR
+set -euo pipefail
+
+bin_dir=$1
+corpus_dir=$2
+
+for t in container lossless wire server; do
+    dir="$corpus_dir/$t"
+    if ! compgen -G "$dir/*" > /dev/null; then
+        echo "fuzz_regression: no corpus files under $dir" >&2
+        exit 1
+    fi
+    "$bin_dir/fuzz_${t}_replay" "$dir"/*
+done
+
+echo "fuzz_regression: all corpora replayed clean"

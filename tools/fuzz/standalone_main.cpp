@@ -1,0 +1,38 @@
+// File-replay driver for the fuzz harnesses on toolchains without libFuzzer
+// (the gcc CI builds): each argv names a file whose bytes are fed through
+// LLVMFuzzerTestOneInput exactly once. The fuzz_regression ctest runs the
+// committed corpus through these binaries — its contract is simply "every
+// input processes without crashing" (sanitizers, when enabled at configure
+// time, turn memory errors into crashes).
+//
+// The libFuzzer builds (-DSPERR_BUILD_FUZZERS=ON, clang) link the same
+// harness translation units against -fsanitize=fuzzer instead of this main.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s CORPUS_FILE...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::printf("%s: replayed %d input(s) clean\n", argv[0], replayed);
+  return 0;
+}

@@ -8,13 +8,17 @@
 //                          [ --no-lossless ] [ --verify ]
 //   decompress:  sperr_cc d  IN.sperr OUT.raw [--type f32|f64] [--drop L]
 //                          [ --recover fail-fast|zero|coarse ]
-//   inspect:     sperr_cc info IN.sperr [--verify]
+//                          [ --max-output-mb M ]
+//   inspect:     sperr_cc info IN.sperr [--verify] [--max-output-mb M]
 //
 // Raw files are x-fastest little-endian arrays, the layout SDRBench uses.
 //
 // Exit codes: 0 success, 1 I/O error, 2 usage error, 3 corrupt input,
-// 4 verification/quality failure. Scripts can tell "the file is damaged"
-// (3) apart from "I was called wrong" (2) and "the disk failed" (1).
+// 4 verification/quality failure, 5 resource limit exceeded (the container
+// header declares more decoded output than the decoder's ResourceLimits
+// admit — the default 64 GiB ceiling, or --max-output-mb). Scripts can tell
+// "the file is damaged" (3) apart from "I was called wrong" (2), "the disk
+// failed" (1), and "this is a decompression bomb" (5).
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,7 @@ constexpr int kExitIo = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitCorrupt = 3;
 constexpr int kExitVerify = 4;
+constexpr int kExitResource = 5;
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
@@ -48,8 +53,8 @@ constexpr int kExitVerify = 4;
                "           [--q-over-t Q] [--chunk CX CY CZ] [--threads N]\n"
                "           [--intra-threads N] [--no-lossless] [--verify]\n"
                "  sperr_cc d IN.sperr OUT.raw [--type f32|f64] [--drop L]\n"
-               "           [--recover fail-fast|zero|coarse]\n"
-               "  sperr_cc info IN.sperr [--verify]\n");
+               "           [--recover fail-fast|zero|coarse] [--max-output-mb M]\n"
+               "  sperr_cc info IN.sperr [--verify] [--max-output-mb M]\n");
   std::exit(kExitUsage);
 }
 
@@ -85,6 +90,19 @@ struct Args {
   size_t drop = 0;
   bool have_recover = false;
   sperr::Recovery recover = sperr::Recovery::fail_fast;
+  uint64_t max_output_mb = 0;  ///< 0 = the library's default ResourceLimits
+
+  /// Decode ceilings for the d / info commands: the library defaults,
+  /// tightened by --max-output-mb when given.
+  [[nodiscard]] sperr::ResourceLimits limits() const {
+    sperr::ResourceLimits rl = sperr::ResourceLimits::defaults();
+    if (max_output_mb > 0) {
+      rl.max_output_bytes = max_output_mb << 20;
+      if (rl.max_working_bytes > rl.max_output_bytes)
+        rl.max_working_bytes = rl.max_output_bytes;
+    }
+    return rl;
+  }
 
   void set_recover(const std::string& v) {
     have_recover = true;
@@ -136,6 +154,10 @@ struct Args {
         verify = true;
       } else if (a == "--drop") {
         drop = size_t(std::atoll(next("--drop needs a level count")));
+      } else if (a == "--max-output-mb") {
+        const long long m = std::atoll(next("--max-output-mb needs a size"));
+        if (m < 0) usage("--max-output-mb must be >= 0");
+        max_output_mb = uint64_t(m);
       } else if (a == "--recover") {
         set_recover(next("--recover needs a policy"));
       } else if (a.rfind("--recover=", 0) == 0) {
@@ -266,15 +288,17 @@ int cmd_decompress(const Args& args) {
     usage("--drop and --recover cannot be combined");
   const auto blob = read_file(args.positional[1]);
 
+  const sperr::ResourceLimits rl = args.limits();
   std::vector<double> field;
   sperr::Dims dims;
   sperr::DecodeReport rep;
   sperr::Status s;
   if (args.drop) {
-    s = sperr::decompress_lowres(blob.data(), blob.size(), args.drop, field, dims);
+    s = sperr::decompress_lowres(blob.data(), blob.size(), args.drop, field, dims,
+                                 &rl);
   } else {
     s = sperr::decompress_tolerant(blob.data(), blob.size(), args.recover, field,
-                                   dims, &rep);
+                                   dims, &rep, &rl);
     if (args.have_recover) {
       print_chunk_reports(rep);
       if (rep.damaged > 0)
@@ -284,6 +308,14 @@ int cmd_decompress(const Args& args) {
                     : args.recover == sperr::Recovery::coarse_fill ? "coarse"
                                                                    : "fail-fast");
     }
+  }
+  if (s == sperr::Status::resource_exhausted) {
+    std::fprintf(stderr,
+                 "error: container declares more output than the resource "
+                 "limits admit (%s); raise --max-output-mb only for trusted "
+                 "inputs\n",
+                 to_string(s));
+    return kExitResource;
   }
   if (s != sperr::Status::ok) {
     std::fprintf(stderr, "error: decompression failed (%s)\n", to_string(s));
@@ -305,10 +337,17 @@ int cmd_info(const Args& args) {
   if (args.positional.size() != 2) usage("info needs IN");
   const auto blob = read_file(args.positional[1]);
 
+  const sperr::ResourceLimits rl = args.limits();
   std::vector<uint8_t> inner;
   size_t bad_block = 0;
-  const sperr::Status us =
-      sperr::unwrap_container(blob.data(), blob.size(), inner, &bad_block);
+  const sperr::Status us = sperr::unwrap_container(blob.data(), blob.size(), inner,
+                                                   &bad_block, nullptr, &rl);
+  if (us == sperr::Status::resource_exhausted) {
+    std::fprintf(stderr,
+                 "error: container declares more data than the resource limits "
+                 "admit (decompression bomb?)\n");
+    return kExitResource;
+  }
   if (us == sperr::Status::corrupt_block) {
     std::fprintf(stderr, "error: lossless block %zu failed its checksum\n", bad_block);
     return kExitCorrupt;
@@ -319,8 +358,15 @@ int cmd_info(const Args& args) {
   }
   sperr::ContainerHeader hdr;
   size_t payload_pos = 0;
-  if (sperr::open_container(blob.data(), blob.size(), inner, hdr, &payload_pos) !=
-      sperr::Status::ok) {
+  const sperr::Status os = sperr::open_container(blob.data(), blob.size(), inner,
+                                                 hdr, &payload_pos, nullptr, &rl);
+  if (os == sperr::Status::resource_exhausted) {
+    std::fprintf(stderr,
+                 "error: container directory exceeds the resource limits "
+                 "(decompression bomb?)\n");
+    return kExitResource;
+  }
+  if (os != sperr::Status::ok) {
     std::fprintf(stderr, "error: corrupt container header\n");
     return kExitCorrupt;
   }
@@ -368,7 +414,12 @@ int cmd_info(const Args& args) {
 
   if (args.verify) {
     sperr::DecodeReport rep;
-    const sperr::Status vs = sperr::verify_container(blob.data(), blob.size(), &rep);
+    const sperr::Status vs =
+        sperr::verify_container(blob.data(), blob.size(), &rep, &rl);
+    if (vs == sperr::Status::resource_exhausted) {
+      std::fprintf(stderr, "verify: refused, resource limits exceeded\n");
+      return kExitResource;
+    }
     print_chunk_reports(rep);
     if (vs != sperr::Status::ok) {
       std::fprintf(stderr, "verify: archive is damaged (%s)\n", to_string(vs));

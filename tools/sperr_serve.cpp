@@ -3,6 +3,7 @@
 //   sperr_serve [--port P] [--workers N] [--queue-depth Q]
 //               [--request-threads N] [--intra-threads N]
 //               [--max-body-mb M] [--max-conns N]
+//               [--max-output-mb M] [--max-memory-mb M]
 //               [--io-timeout-ms T] [--idle-timeout-ms T]
 //               [--request-deadline-ms T] [--drain-deadline-ms T] [--quiet]
 //
@@ -34,6 +35,7 @@ namespace {
                "  sperr_serve [--port P] [--workers N] [--queue-depth Q]\n"
                "              [--request-threads N] [--intra-threads N]\n"
                "              [--max-body-mb M] [--max-conns N]\n"
+               "              [--max-output-mb M] [--max-memory-mb M]\n"
                "              [--io-timeout-ms T] [--idle-timeout-ms T]\n"
                "              [--request-deadline-ms T] [--drain-deadline-ms T]\n"
                "              [--quiet]\n"
@@ -47,6 +49,13 @@ namespace {
                "  --max-conns N        concurrent connection cap; past it new\n"
                "                       connections get one BUSY and are closed\n"
                "                       (default 256, 0 = unlimited)\n"
+               "  --max-output-mb M    answer RESOURCE_EXHAUSTED when one request's\n"
+               "                       header declares more than M MiB of decoded\n"
+               "                       output (default 0 = library default, 64 GiB)\n"
+               "  --max-memory-mb M    global decode memory pool shared by all lanes;\n"
+               "                       requests reserve their declared working set\n"
+               "                       from it or get RESOURCE_EXHAUSTED\n"
+               "                       (default 0 = no shared pool)\n"
                "  --io-timeout-ms T    budget to finish one started read/write\n"
                "                       (default 30000, -1 = none)\n"
                "  --idle-timeout-ms T  reap connections idle between requests for T\n"
@@ -102,6 +111,14 @@ int main(int argc, char** argv) {
       const long n = parse_long(next("--max-conns needs a count"), "--max-conns needs a count");
       if (n < 0) usage("--max-conns must be >= 0");
       cfg.max_connections = size_t(n);
+    } else if (a == "--max-output-mb") {
+      const long m = parse_long(next("--max-output-mb needs a size"), "--max-output-mb needs a size");
+      if (m < 0) usage("--max-output-mb must be >= 0");
+      cfg.max_output_bytes = uint64_t(m) << 20;
+    } else if (a == "--max-memory-mb") {
+      const long m = parse_long(next("--max-memory-mb needs a size"), "--max-memory-mb needs a size");
+      if (m < 0) usage("--max-memory-mb must be >= 0");
+      cfg.max_memory_bytes = uint64_t(m) << 20;
     } else if (a == "--io-timeout-ms") {
       cfg.io_timeout_ms =
           int(parse_long(next("--io-timeout-ms needs a time"), "--io-timeout-ms needs a time"));
@@ -172,6 +189,9 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.timeouts_read),
         static_cast<unsigned long long>(s.timeouts_write),
         static_cast<unsigned long long>(s.timeouts_request));
+    if (s.resource_exhausted)
+      std::printf("sperr_serve: %llu resource-exhausted rejection(s)\n",
+                  static_cast<unsigned long long>(s.resource_exhausted));
   }
   return 0;
 }
